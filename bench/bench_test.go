@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/cluster"
+	"repro/internal/nas"
+)
+
+func TestSeriesAndFigureFormatting(t *testing.T) {
+	f := &Figure{Name: "t", Title: "test", XLabel: "size(B)", YLabel: "us"}
+	var a, b Series
+	a.Label = "one"
+	a.Add(1, 1.5)
+	a.Add(1024, 2.5)
+	b.Label = "two"
+	b.Add(1, 3.5) // no point at 1024: must render "-"
+	f.Series = []Series{a, b}
+	out := f.String()
+	if !strings.Contains(out, "one") || !strings.Contains(out, "two") {
+		t.Fatalf("missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "1K") {
+		t.Fatalf("size label not formatted:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing-point marker absent:\n%s", out)
+	}
+	if y, ok := a.YAt(1024); !ok || y != 2.5 {
+		t.Fatal("YAt broken")
+	}
+	if _, ok := a.YAt(7); ok {
+		t.Fatal("YAt found nonexistent point")
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	cases := map[float64]string{1: "1", 512: "512", 1024: "1K", 4096: "4K",
+		1 << 20: "1M", 64 << 20: "64M"}
+	for in, want := range cases {
+		if got := SizeLabel(in); got != want {
+			t.Errorf("SizeLabel(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSizeLadders(t *testing.T) {
+	lat := LatencySizes()
+	if lat[0] != 1 || lat[len(lat)-1] != 512 {
+		t.Fatalf("latency ladder %v", lat)
+	}
+	bw := BandwidthSizes()
+	if bw[0] != 1 || bw[len(bw)-1] != 64<<20 {
+		t.Fatalf("bandwidth ladder ends at %d", bw[len(bw)-1])
+	}
+}
+
+func TestLatencySweepMonotonicInSize(t *testing.T) {
+	s, err := Latency(cluster.MVAPICH2(), []int{1, 64, 512}, NetpipeOptions{Iters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Y <= s.Points[i-1].Y {
+			t.Fatalf("latency not increasing with size: %+v", s.Points)
+		}
+	}
+}
+
+func TestAnySourceLatencyGapConstant(t *testing.T) {
+	// Fig. 4(a): the ANY_SOURCE gap is ~300 ns and stays constant as the
+	// message grows.
+	sizes := []int{4, 512}
+	base, err := Latency(cluster.MPICH2NmadIB(), sizes, NetpipeOptions{Iters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := Latency(cluster.MPICH2NmadIB(), sizes, NetpipeOptions{Iters: 10, AnySource: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gapSmall := as.Points[0].Y - base.Points[0].Y
+	gapLarge := as.Points[1].Y - base.Points[1].Y
+	if gapSmall < 0.2 || gapSmall > 0.45 {
+		t.Errorf("AS gap at 4B = %.3fus, want ~0.3", gapSmall)
+	}
+	if diff := gapLarge - gapSmall; diff < -0.1 || diff > 0.1 {
+		t.Errorf("AS gap not constant: %.3f vs %.3f", gapSmall, gapLarge)
+	}
+}
+
+func TestIntraNodeLatencyFarBelowNetwork(t *testing.T) {
+	shm, err := Latency(cluster.MPICH2NmadIB(), []int{4}, NetpipeOptions{Iters: 10, IntraNode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Latency(cluster.MPICH2NmadIB(), []int{4}, NetpipeOptions{Iters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shm.Points[0].Y > 0.6 {
+		t.Errorf("shm latency %.3fus, want ~0.2-0.5", shm.Points[0].Y)
+	}
+	if shm.Points[0].Y*2 > net.Points[0].Y {
+		t.Errorf("shm (%.3f) should be far below network (%.3f)",
+			shm.Points[0].Y, net.Points[0].Y)
+	}
+}
+
+func TestPIOManShmOverheadApprox450ns(t *testing.T) {
+	intra := NetpipeOptions{Iters: 10, IntraNode: true}
+	base, err := Latency(cluster.MPICH2NmadIB(), []int{4}, intra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pio, err := Latency(cluster.MPICH2NmadIB().WithPIOMan(true), []int{4}, intra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := pio.Points[0].Y - base.Points[0].Y
+	if gap < 0.3 || gap > 0.8 {
+		t.Errorf("PIOMan shm overhead %.3fus, want ~0.45-0.65", gap)
+	}
+}
+
+func TestOverlapSumVsMax(t *testing.T) {
+	// The Fig. 7 headline: without PIOMan sending time ≈ comm + compute;
+	// with PIOMan ≈ max(comm, compute).
+	const computeUS = 400
+	size := 256 << 10
+	o := OverlapOptions{ComputeUS: computeUS, Iters: 3}
+	ref, err := OverlapOnce(cluster.MPICH2NmadIB(), size, OverlapOptions{ComputeUS: 0.001, Iters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := OverlapOnce(cluster.MPICH2NmadIB(), size, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pio, err := OverlapOnce(cluster.MPICH2NmadIB().WithPIOMan(true), size, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := ref * 1e6
+	sum := comm + computeUS
+	if got := plain * 1e6; got < 0.9*sum || got > 1.1*sum {
+		t.Errorf("no-PIOMan sending time %.1fus, want ~sum %.1fus", got, sum)
+	}
+	if got := pio * 1e6; got > 1.1*computeUS {
+		t.Errorf("PIOMan sending time %.1fus, want ~max %.0fus", got, float64(computeUS))
+	}
+}
+
+func TestRunNASProducesTables(t *testing.T) {
+	kernels := []nas.Kernel{nas.EP(), nas.MG()}
+	res, err := RunNAS(nas.ClassS, 8, kernels, []cluster.Stack{
+		cluster.MVAPICH2(), cluster.MPICH2NmadIB(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("got %d results, want 4", len(res))
+	}
+	for _, r := range res {
+		if !r.Verified || r.Seconds <= 0 {
+			t.Fatalf("bad result %+v", r)
+		}
+	}
+	var b strings.Builder
+	WriteNASTable(&b, "test panel", res)
+	out := b.String()
+	for _, want := range []string{"EP", "MG", "mvapich2", "mpich2-nmad-ib", "np=8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNASStacksAreTheFigure8Set(t *testing.T) {
+	stacks := NASStacks()
+	if len(stacks) != 4 {
+		t.Fatalf("want 4 stacks, got %d", len(stacks))
+	}
+	names := map[string]bool{}
+	for _, s := range stacks {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"mvapich2", "openmpi-ib", "mpich2-nmad-ib", "mpich2-nmad-ib+pioman"} {
+		if !names[want] {
+			t.Fatalf("missing stack %q in %v", want, names)
+		}
+	}
+}

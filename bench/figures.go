@@ -1,0 +1,127 @@
+package bench
+
+import "repro/cluster"
+
+// collect builds a figure from (label, producer) pairs, failing fast.
+func collect(name, title, xl, yl string, produce []func() (Series, error)) (*Figure, error) {
+	f := &Figure{Name: name, Title: title, XLabel: xl, YLabel: yl}
+	for _, p := range produce {
+		s, err := p()
+		if err != nil {
+			return nil, err
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f, nil
+}
+
+// Fig4a reproduces Fig. 4(a): Infiniband small-message latency for
+// MVAPICH2, Open MPI, MPICH2:Nem:Nmad:IB and the ANY_SOURCE variant.
+func Fig4a() (*Figure, error) {
+	sizes := LatencySizes()
+	return collect("fig4a", "Infiniband latency", "size(B)", "latency(us)",
+		[]func() (Series, error){
+			func() (Series, error) { return Latency(cluster.MVAPICH2(), sizes, NetpipeOptions{}) },
+			func() (Series, error) { return Latency(cluster.OpenMPIIB(), sizes, NetpipeOptions{}) },
+			func() (Series, error) { return Latency(cluster.MPICH2NmadIB(), sizes, NetpipeOptions{}) },
+			func() (Series, error) {
+				return Latency(cluster.MPICH2NmadIB(), sizes, NetpipeOptions{AnySource: true})
+			},
+		})
+}
+
+// Fig4b reproduces Fig. 4(b): Infiniband bandwidth.
+func Fig4b() (*Figure, error) {
+	sizes := BandwidthSizes()
+	return collect("fig4b", "Infiniband bandwidth", "size(B)", "bandwidth(MBps)",
+		[]func() (Series, error){
+			func() (Series, error) { return Bandwidth(cluster.MVAPICH2(), sizes, NetpipeOptions{Iters: 3}) },
+			func() (Series, error) { return Bandwidth(cluster.OpenMPIIB(), sizes, NetpipeOptions{Iters: 3}) },
+			func() (Series, error) { return Bandwidth(cluster.MPICH2NmadIB(), sizes, NetpipeOptions{Iters: 3}) },
+		})
+}
+
+// Fig5a reproduces Fig. 5(a): multirail latency vs the single rails.
+func Fig5a() (*Figure, error) {
+	sizes := LatencySizes()
+	return collect("fig5a", "Multirail latency (MX+IB)", "size(B)", "latency(us)",
+		[]func() (Series, error){
+			func() (Series, error) { return Latency(cluster.MPICH2NmadMX(), sizes, NetpipeOptions{}) },
+			func() (Series, error) { return Latency(cluster.MPICH2NmadIB(), sizes, NetpipeOptions{}) },
+			func() (Series, error) { return Latency(cluster.MPICH2NmadMulti(), sizes, NetpipeOptions{}) },
+		})
+}
+
+// Fig5b reproduces Fig. 5(b): multirail bandwidth approaches the sum of the
+// two rails for large messages.
+func Fig5b() (*Figure, error) {
+	sizes := BandwidthSizes()
+	return collect("fig5b", "Multirail bandwidth (MX+IB)", "size(B)", "bandwidth(MBps)",
+		[]func() (Series, error){
+			func() (Series, error) { return Bandwidth(cluster.MPICH2NmadMX(), sizes, NetpipeOptions{Iters: 3}) },
+			func() (Series, error) { return Bandwidth(cluster.MPICH2NmadIB(), sizes, NetpipeOptions{Iters: 3}) },
+			func() (Series, error) {
+				return Bandwidth(cluster.MPICH2NmadMulti(), sizes, NetpipeOptions{Iters: 3})
+			},
+		})
+}
+
+// Fig6a reproduces Fig. 6(a): shared-memory latency with and without PIOMan,
+// against Open MPI.
+func Fig6a() (*Figure, error) {
+	sizes := LatencySizes()
+	intra := NetpipeOptions{IntraNode: true}
+	return collect("fig6a", "Shared-memory latency w/ PIOMan", "size(B)", "latency(us)",
+		[]func() (Series, error){
+			func() (Series, error) { return Latency(cluster.MPICH2NmadIB(), sizes, intra) },
+			func() (Series, error) {
+				return Latency(cluster.MPICH2NmadIB().WithPIOMan(true), sizes, intra)
+			},
+			func() (Series, error) { return Latency(cluster.OpenMPIIB(), sizes, intra) },
+		})
+}
+
+// Fig6b reproduces Fig. 6(b): Myrinet MX latency across Open MPI PML/BTL and
+// MPICH2-NMad with and without PIOMan.
+func Fig6b() (*Figure, error) {
+	sizes := LatencySizes()
+	return collect("fig6b", "MX latency w/ PIOMan", "size(B)", "latency(us)",
+		[]func() (Series, error){
+			func() (Series, error) { return Latency(cluster.OpenMPICMMX(), sizes, NetpipeOptions{}) },
+			func() (Series, error) { return Latency(cluster.OpenMPIBTLMX(), sizes, NetpipeOptions{}) },
+			func() (Series, error) { return Latency(cluster.MPICH2NmadMX(), sizes, NetpipeOptions{}) },
+			func() (Series, error) {
+				return Latency(cluster.MPICH2NmadMX().WithPIOMan(true), sizes, NetpipeOptions{})
+			},
+		})
+}
+
+// Fig7a reproduces Fig. 7(a): overlapping eager messages over MX with 20 µs
+// of injected computation.
+func Fig7a() (*Figure, error) {
+	sizes := []int{4 << 10, 16 << 10}
+	o := OverlapOptions{ComputeUS: 20}
+	return collect("fig7a", "Eager overlap over MX (20us compute)", "size(B)", "send time(us)",
+		[]func() (Series, error){
+			func() (Series, error) { return OverlapReference(cluster.MPICH2NmadMX(), sizes) },
+			func() (Series, error) { return Overlap(cluster.MPICH2NmadMX(), sizes, o) },
+			func() (Series, error) { return Overlap(cluster.MPICH2NmadMX().WithPIOMan(true), sizes, o) },
+			func() (Series, error) { return Overlap(cluster.OpenMPIBTLMX(), sizes, o) },
+			func() (Series, error) { return Overlap(cluster.OpenMPICMMX(), sizes, o) },
+		})
+}
+
+// Fig7b reproduces Fig. 7(b): rendezvous progression over Infiniband with
+// 400 µs of injected computation.
+func Fig7b() (*Figure, error) {
+	sizes := []int{16 << 10, 64 << 10, 256 << 10, 1 << 20}
+	o := OverlapOptions{ComputeUS: 400}
+	return collect("fig7b", "Rendezvous overlap over IB (400us compute)", "size(B)", "send time(us)",
+		[]func() (Series, error){
+			func() (Series, error) { return OverlapReference(cluster.MPICH2NmadIB(), sizes) },
+			func() (Series, error) { return Overlap(cluster.MPICH2NmadIB(), sizes, o) },
+			func() (Series, error) { return Overlap(cluster.MPICH2NmadIB().WithPIOMan(true), sizes, o) },
+			func() (Series, error) { return Overlap(cluster.OpenMPIIB(), sizes, o) },
+			func() (Series, error) { return Overlap(cluster.MVAPICH2(), sizes, o) },
+		})
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/cluster"
+	"repro/internal/nas"
+	"repro/mpi"
+)
+
+// NASResult is one (kernel, stack, np) execution.
+type NASResult struct {
+	Kernel   string
+	Stack    string
+	NP       int // actual process count (9/36 for BT/SP at 8/32)
+	Class    nas.Class
+	Seconds  float64
+	Verified bool
+}
+
+// NASStacks returns the four implementations compared in Fig. 8.
+func NASStacks() []cluster.Stack {
+	return []cluster.Stack{
+		cluster.MVAPICH2(),
+		cluster.OpenMPIIB(),
+		cluster.MPICH2NmadIB(),
+		cluster.MPICH2NmadIB().WithPIOMan(true),
+	}
+}
+
+// RunNASKernel executes one kernel under one stack on the Grid5000 testbed.
+func RunNASKernel(k nas.Kernel, stack cluster.Stack, np int, class nas.Class) (NASResult, error) {
+	actual := k.AdjustNP(np)
+	var res nas.Result
+	cfg := mpi.Config{Cluster: cluster.Grid5000(), Stack: stack, NP: actual}
+	_, err := mpi.Run(cfg, func(c *mpi.Comm) {
+		r := k.Run(c, class)
+		if c.Rank() == 0 {
+			res = r
+		}
+	})
+	if err != nil {
+		return NASResult{}, fmt.Errorf("%s/%s np=%d: %w", k.Name, stack.Name, actual, err)
+	}
+	return NASResult{
+		Kernel: k.Name, Stack: stack.Name, NP: actual, Class: class,
+		Seconds: res.Seconds, Verified: res.Verified,
+	}, nil
+}
+
+// RunNAS sweeps kernels × stacks at one requested process count (Fig. 8 has
+// one panel per process count: 8/9, 16, 32/36, 64).
+func RunNAS(class nas.Class, np int, kernels []nas.Kernel, stacks []cluster.Stack) ([]NASResult, error) {
+	var out []NASResult
+	for _, k := range kernels {
+		for _, s := range stacks {
+			r, err := RunNASKernel(k, s, np, class)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// WriteNASTable renders results grouped like one Fig. 8 panel: one row per
+// kernel, one column per stack, cells in seconds.
+func WriteNASTable(w io.Writer, title string, results []NASResult) {
+	fmt.Fprintf(w, "# %s\n", title)
+	var kernels []string
+	var stacks []string
+	seenK := map[string]bool{}
+	seenS := map[string]bool{}
+	for _, r := range results {
+		if !seenK[r.Kernel] {
+			seenK[r.Kernel] = true
+			kernels = append(kernels, r.Kernel)
+		}
+		if !seenS[r.Stack] {
+			seenS[r.Stack] = true
+			stacks = append(stacks, r.Stack)
+		}
+	}
+	header := []string{fmt.Sprintf("%-8s", "kernel")}
+	for _, s := range stacks {
+		header = append(header, fmt.Sprintf("%24s", s))
+	}
+	fmt.Fprintln(w, strings.Join(header, " "))
+	for _, k := range kernels {
+		row := []string{fmt.Sprintf("%-8s", k)}
+		for _, s := range stacks {
+			cell := "-"
+			for _, r := range results {
+				if r.Kernel == k && r.Stack == s {
+					mark := ""
+					if !r.Verified {
+						mark = "!"
+					}
+					cell = fmt.Sprintf("%.2fs%s (np=%d)", r.Seconds, mark, r.NP)
+				}
+			}
+			row = append(row, fmt.Sprintf("%24s", cell))
+		}
+		fmt.Fprintln(w, strings.Join(row, " "))
+	}
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/cluster"
+	"repro/internal/topo"
+	"repro/mpi"
+)
+
+// NetpipeOptions tunes a pingpong sweep.
+type NetpipeOptions struct {
+	// Iters is the number of round trips per size (after one warmup).
+	Iters int
+	// AnySource makes the echo side receive with MPI_ANY_SOURCE, measuring
+	// the §3.2 overhead.
+	AnySource bool
+	// IntraNode places both ranks on one node (shared-memory path, Fig. 6a).
+	IntraNode bool
+}
+
+func (o NetpipeOptions) withDefaults() NetpipeOptions {
+	if o.Iters == 0 {
+		o.Iters = 20
+	}
+	return o
+}
+
+// pingpong measures the average one-way time in seconds for one message size.
+func pingpong(stack cluster.Stack, size int, o NetpipeOptions) (float64, error) {
+	o = o.withDefaults()
+	cfg := mpi.Config{Cluster: cluster.Xeon2(), Stack: stack, NP: 2}
+	if o.IntraNode {
+		cfg.Placement = topo.Placement{0, 0}
+	} else {
+		cfg.Placement = topo.Placement{0, 1}
+	}
+	var oneWay float64
+	_, err := mpi.Run(cfg, func(c *mpi.Comm) {
+		msg := make([]byte, size)
+		// With AnySource every receive in the pingpong is a wildcard, so
+		// the §3.2 machinery is exercised once per message (the paper's
+		// constant per-message gap).
+		src0, src1 := 1, 0
+		if o.AnySource {
+			src0, src1 = mpi.AnySource, mpi.AnySource
+		}
+		// Warmup round trip.
+		if c.Rank() == 0 {
+			c.Send(1, 1, msg)
+			c.Recv(src0, 1, msg)
+		} else {
+			c.Recv(src1, 1, msg)
+			c.Send(0, 1, msg)
+		}
+		c.Barrier()
+		t0 := c.Wtime()
+		for i := 0; i < o.Iters; i++ {
+			if c.Rank() == 0 {
+				c.Send(1, 1, msg)
+				c.Recv(src0, 1, msg)
+			} else {
+				c.Recv(src1, 1, msg)
+				c.Send(0, 1, msg)
+			}
+		}
+		if c.Rank() == 0 {
+			oneWay = (c.Wtime() - t0) / float64(2*o.Iters)
+		}
+	})
+	return oneWay, err
+}
+
+// Latency sweeps sizes and returns one-way latencies in microseconds.
+func Latency(stack cluster.Stack, sizes []int, o NetpipeOptions) (Series, error) {
+	s := Series{Label: stack.Name}
+	if o.AnySource {
+		s.Label += " w/AS"
+	}
+	for _, size := range sizes {
+		t, err := pingpong(stack, size, o)
+		if err != nil {
+			return s, fmt.Errorf("%s size %d: %w", stack.Name, size, err)
+		}
+		s.Add(float64(size), t*1e6)
+	}
+	return s, nil
+}
+
+// Bandwidth sweeps sizes and returns throughput in MB/s (1 MB = 1024×1024
+// bytes, as the paper defines).
+func Bandwidth(stack cluster.Stack, sizes []int, o NetpipeOptions) (Series, error) {
+	s := Series{Label: stack.Name}
+	for _, size := range sizes {
+		opts := o
+		if size >= 1<<20 && opts.Iters == 0 {
+			opts.Iters = 3 // large transfers need few iterations
+		}
+		t, err := pingpong(stack, size, opts)
+		if err != nil {
+			return s, fmt.Errorf("%s size %d: %w", stack.Name, size, err)
+		}
+		s.Add(float64(size), float64(size)/t/(1<<20))
+	}
+	return s, nil
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/cluster"
+	"repro/internal/topo"
+	"repro/mpi"
+)
+
+// OverlapOptions tunes the communication/computation overlap benchmark of
+// §4.1.2: the sender calls MPI_Isend, computes for ComputeUS microseconds,
+// then waits for the end of the communication with MPI_Wait; the measured
+// quantity is the total sending time. Implementations that progress
+// communication in the background report ≈max(comm, compute); the others
+// report ≈comm + compute.
+type OverlapOptions struct {
+	// ComputeUS is the computation time injected between Isend and Wait
+	// (20 µs for the eager experiment, 400 µs for the rendezvous one).
+	ComputeUS float64
+	// Iters averages over this many repetitions.
+	Iters int
+}
+
+func (o OverlapOptions) withDefaults() OverlapOptions {
+	if o.Iters == 0 {
+		o.Iters = 10
+	}
+	return o
+}
+
+// OverlapOnce measures the sending time (seconds) for one size.
+func OverlapOnce(stack cluster.Stack, size int, o OverlapOptions) (float64, error) {
+	o = o.withDefaults()
+	cfg := mpi.Config{
+		Cluster:   cluster.Xeon2(),
+		Stack:     stack,
+		NP:        2,
+		Placement: topo.Placement{0, 1},
+	}
+	var total float64
+	_, err := mpi.Run(cfg, func(c *mpi.Comm) {
+		msg := make([]byte, size)
+		if c.Rank() == 0 {
+			// Warmup.
+			c.Send(1, 0, msg)
+			c.Recv(1, 0, msg)
+			c.Barrier()
+			for i := 0; i < o.Iters; i++ {
+				t0 := c.Wtime()
+				q := c.Isend(1, 1, msg)
+				c.Compute(o.ComputeUS * 1e-6)
+				c.Wait(q)
+				total += c.Wtime() - t0
+				// Wait for the receiver's ack so iterations don't pipeline.
+				c.Recv(1, 2, make([]byte, 1))
+			}
+			total /= float64(o.Iters)
+		} else {
+			c.Recv(0, 0, msg)
+			c.Send(0, 0, msg)
+			c.Barrier()
+			for i := 0; i < o.Iters; i++ {
+				c.Recv(0, 1, msg)
+				c.Send(0, 2, make([]byte, 1))
+			}
+		}
+	})
+	return total, err
+}
+
+// Overlap sweeps message sizes and returns sending times in microseconds.
+func Overlap(stack cluster.Stack, sizes []int, o OverlapOptions) (Series, error) {
+	s := Series{Label: stack.Name}
+	for _, size := range sizes {
+		t, err := OverlapOnce(stack, size, o)
+		if err != nil {
+			return s, fmt.Errorf("%s size %d: %w", stack.Name, size, err)
+		}
+		s.Add(float64(size), t*1e6)
+	}
+	return s, nil
+}
+
+// OverlapReference is the "no computation" line of Fig. 7: the plain
+// sending time with zero injected compute.
+func OverlapReference(stack cluster.Stack, sizes []int) (Series, error) {
+	s, err := Overlap(stack, sizes, OverlapOptions{ComputeUS: 0.001})
+	s.Label = "reference (no computation)"
+	return s, err
+}

@@ -1,0 +1,121 @@
+// Package bench regenerates every figure of the paper's evaluation (§4):
+// Netpipe latency/bandwidth sweeps (Figs. 4–6), the communication/computation
+// overlap micro-benchmark (Fig. 7), and the NAS kernel runs (Fig. 8), plus
+// the ablation experiments catalogued in DESIGN.md. Each figure is expressed
+// as a set of labelled series that print as aligned text tables comparable
+// to the paper's plots.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labelled curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// YAt returns the Y value at x (exact match) and whether it exists.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Figure is a named set of series sharing an X axis.
+type Figure struct {
+	Name   string // e.g. "fig4a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// SizeLabel formats a byte count the way the paper's axes do.
+func SizeLabel(n float64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%gM", n/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%gK", n/(1<<10))
+	default:
+		return fmt.Sprintf("%g", n)
+	}
+}
+
+// WriteTable renders the figure as an aligned text table: one row per X
+// value, one column per series.
+func (f *Figure) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "# %s — %s\n", f.Name, f.Title)
+	fmt.Fprintf(w, "# x: %s   y: %s\n", f.XLabel, f.YLabel)
+
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	header := []string{fmt.Sprintf("%-10s", f.XLabel)}
+	for _, s := range f.Series {
+		header = append(header, fmt.Sprintf("%18s", s.Label))
+	}
+	fmt.Fprintln(w, strings.Join(header, " "))
+	for _, x := range sorted {
+		row := []string{fmt.Sprintf("%-10s", SizeLabel(x))}
+		for _, s := range f.Series {
+			if y, ok := s.YAt(x); ok {
+				row = append(row, fmt.Sprintf("%18.3f", y))
+			} else {
+				row = append(row, fmt.Sprintf("%18s", "-"))
+			}
+		}
+		fmt.Fprintln(w, strings.Join(row, " "))
+	}
+}
+
+// String renders the figure as a table.
+func (f *Figure) String() string {
+	var b strings.Builder
+	f.WriteTable(&b)
+	return b.String()
+}
+
+// LatencySizes is the paper's Fig. 4(a)/5(a)/6 X axis: 1–512 bytes.
+func LatencySizes() []int {
+	var out []int
+	for s := 1; s <= 512; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// BandwidthSizes is the paper's Fig. 4(b)/5(b) X axis: 1 B – 64 MB.
+func BandwidthSizes() []int {
+	var out []int
+	for s := 1; s <= 64<<20; s *= 4 {
+		out = append(out, s)
+	}
+	return out
+}

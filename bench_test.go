@@ -1,0 +1,356 @@
+// Package repro's root benchmarks regenerate every figure of the paper's
+// evaluation at reduced scale (full-scale tables come from cmd/netpipe,
+// cmd/overlap, cmd/multirail and cmd/nasbench). Virtual-time results are
+// reported as custom metrics: `us_oneway`, `MBps`, `us_sendtime` and
+// `vsec_exec` — those, not ns/op, are the reproduced quantities.
+package repro
+
+import (
+	"testing"
+
+	"repro/bench"
+	"repro/cluster"
+	"repro/internal/nas"
+	"repro/internal/nmad"
+	"repro/internal/topo"
+	"repro/mpi"
+)
+
+// oneWayUS runs a short pingpong and returns the one-way latency in µs.
+func oneWayUS(b *testing.B, stack cluster.Stack, size int, o bench.NetpipeOptions) float64 {
+	b.Helper()
+	s, err := bench.Latency(stack, []int{size}, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s.Points[0].Y
+}
+
+func bwMBps(b *testing.B, stack cluster.Stack, size int) float64 {
+	b.Helper()
+	s, err := bench.Bandwidth(stack, []int{size}, bench.NetpipeOptions{Iters: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s.Points[0].Y
+}
+
+// ---- Figure 4: Infiniband latency/bandwidth ---------------------------------
+
+func BenchmarkFig4aLatencyIB(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		stack cluster.Stack
+		any   bool
+	}{
+		{"MVAPICH2", cluster.MVAPICH2(), false},
+		{"OpenMPI", cluster.OpenMPIIB(), false},
+		{"NMadIB", cluster.MPICH2NmadIB(), false},
+		{"NMadIB_AnySource", cluster.MPICH2NmadIB(), true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var us float64
+			for i := 0; i < b.N; i++ {
+				us = oneWayUS(b, tc.stack, 4, bench.NetpipeOptions{Iters: 10, AnySource: tc.any})
+			}
+			b.ReportMetric(us, "us_oneway")
+		})
+	}
+}
+
+func BenchmarkFig4bBandwidthIB(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		stack cluster.Stack
+	}{
+		{"MVAPICH2", cluster.MVAPICH2()},
+		{"OpenMPI", cluster.OpenMPIIB()},
+		{"NMadIB", cluster.MPICH2NmadIB()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				mbps = bwMBps(b, tc.stack, 1<<20)
+			}
+			b.ReportMetric(mbps, "MBps_1MB")
+		})
+	}
+}
+
+// ---- Figure 5: multirail -----------------------------------------------------
+
+func BenchmarkFig5aLatencyMultirail(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		stack cluster.Stack
+	}{
+		{"NMadMX", cluster.MPICH2NmadMX()},
+		{"NMadIB", cluster.MPICH2NmadIB()},
+		{"NMadMulti", cluster.MPICH2NmadMulti()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var us float64
+			for i := 0; i < b.N; i++ {
+				us = oneWayUS(b, tc.stack, 4, bench.NetpipeOptions{Iters: 10})
+			}
+			b.ReportMetric(us, "us_oneway")
+		})
+	}
+}
+
+func BenchmarkFig5bBandwidthMultirail(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		stack cluster.Stack
+	}{
+		{"NMadMX", cluster.MPICH2NmadMX()},
+		{"NMadIB", cluster.MPICH2NmadIB()},
+		{"NMadMulti", cluster.MPICH2NmadMulti()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				mbps = bwMBps(b, tc.stack, 16<<20)
+			}
+			b.ReportMetric(mbps, "MBps_16MB")
+		})
+	}
+}
+
+// ---- Figure 6: PIOMan latency overhead ----------------------------------------
+
+func BenchmarkFig6aShmPIOMan(b *testing.B) {
+	intra := bench.NetpipeOptions{Iters: 10, IntraNode: true}
+	for _, tc := range []struct {
+		name  string
+		stack cluster.Stack
+	}{
+		{"Nemesis", cluster.MPICH2NmadIB()},
+		{"NemesisPIOMan", cluster.MPICH2NmadIB().WithPIOMan(true)},
+		{"OpenMPI", cluster.OpenMPIIB()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var us float64
+			for i := 0; i < b.N; i++ {
+				us = oneWayUS(b, tc.stack, 4, intra)
+			}
+			b.ReportMetric(us, "us_oneway")
+		})
+	}
+}
+
+func BenchmarkFig6bMXPIOMan(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		stack cluster.Stack
+	}{
+		{"OpenMPI_PML_MX", cluster.OpenMPICMMX()},
+		{"OpenMPI_BTL_MX", cluster.OpenMPIBTLMX()},
+		{"NMadMX", cluster.MPICH2NmadMX()},
+		{"NMadMX_PIOMan", cluster.MPICH2NmadMX().WithPIOMan(true)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var us float64
+			for i := 0; i < b.N; i++ {
+				us = oneWayUS(b, tc.stack, 4, bench.NetpipeOptions{Iters: 10})
+			}
+			b.ReportMetric(us, "us_oneway")
+		})
+	}
+}
+
+// ---- Figure 7: overlap ---------------------------------------------------------
+
+func BenchmarkFig7aEagerOverlap(b *testing.B) {
+	o := bench.OverlapOptions{ComputeUS: 20, Iters: 5}
+	for _, tc := range []struct {
+		name  string
+		stack cluster.Stack
+	}{
+		{"NMadMX", cluster.MPICH2NmadMX()},
+		{"NMadMX_PIOMan", cluster.MPICH2NmadMX().WithPIOMan(true)},
+		{"OpenMPI_BTL_MX", cluster.OpenMPIBTLMX()},
+		{"OpenMPI_PML_MX", cluster.OpenMPICMMX()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var us float64
+			for i := 0; i < b.N; i++ {
+				t, err := bench.OverlapOnce(tc.stack, 16<<10, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				us = t * 1e6
+			}
+			b.ReportMetric(us, "us_sendtime_16K")
+		})
+	}
+}
+
+func BenchmarkFig7bRndvOverlap(b *testing.B) {
+	o := bench.OverlapOptions{ComputeUS: 400, Iters: 5}
+	for _, tc := range []struct {
+		name  string
+		stack cluster.Stack
+	}{
+		{"NMadIB", cluster.MPICH2NmadIB()},
+		{"NMadIB_PIOMan", cluster.MPICH2NmadIB().WithPIOMan(true)},
+		{"OpenMPI", cluster.OpenMPIIB()},
+		{"MVAPICH2", cluster.MVAPICH2()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var us float64
+			for i := 0; i < b.N; i++ {
+				t, err := bench.OverlapOnce(tc.stack, 256<<10, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				us = t * 1e6
+			}
+			b.ReportMetric(us, "us_sendtime_256K")
+		})
+	}
+}
+
+// ---- Figure 8: NAS kernels (class S at benchmark scale) -------------------------
+
+func BenchmarkFig8NAS(b *testing.B) {
+	for _, k := range nas.Kernels() {
+		k := k
+		for _, tc := range []struct {
+			name  string
+			stack cluster.Stack
+		}{
+			{"MVAPICH2", cluster.MVAPICH2()},
+			{"NMad", cluster.MPICH2NmadIB()},
+			{"NMadPIOMan", cluster.MPICH2NmadIB().WithPIOMan(true)},
+		} {
+			b.Run(k.Name+"/"+tc.name, func(b *testing.B) {
+				var vsec float64
+				for i := 0; i < b.N; i++ {
+					r, err := bench.RunNASKernel(k, tc.stack, 8, nas.ClassS)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !r.Verified {
+						b.Fatalf("%s not verified", k.Name)
+					}
+					vsec = r.Seconds
+				}
+				b.ReportMetric(vsec*1000, "vmsec_exec")
+			})
+		}
+	}
+}
+
+// ---- Ablations (DESIGN.md A1–A4) -------------------------------------------------
+
+// BenchmarkAblationNestedHandshake compares the direct CH3→NewMadeleine path
+// against the generic Nemesis module whose CH3 rendezvous nests the
+// library's own handshake (§2.1.3, Fig. 2).
+func BenchmarkAblationNestedHandshake(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		stack cluster.Stack
+	}{
+		{"DirectBypass", cluster.MPICH2NmadIB()},
+		{"GenericNetmod", cluster.MPICH2NemesisGeneric()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var us float64
+			for i := 0; i < b.N; i++ {
+				us = oneWayUS(b, tc.stack, 256<<10, bench.NetpipeOptions{Iters: 5})
+			}
+			b.ReportMetric(us, "us_oneway_256K")
+		})
+	}
+}
+
+// BenchmarkAblationAggregation measures a burst of small sends with and
+// without the aggregation strategy.
+func BenchmarkAblationAggregation(b *testing.B) {
+	burst := func(stack cluster.Stack) float64 {
+		var dt float64
+		cfg := mpi.Config{Cluster: cluster.Xeon2(), Stack: stack, NP: 2,
+			Placement: topo.Placement{0, 1}}
+		_, err := mpi.Run(cfg, func(c *mpi.Comm) {
+			const n = 64
+			msg := make([]byte, 128)
+			if c.Rank() == 0 {
+				c.Barrier()
+				t0 := c.Wtime()
+				var qs []*mpi.Request
+				for i := 0; i < n; i++ {
+					qs = append(qs, c.Isend(1, 1, msg))
+				}
+				c.WaitAll(qs...)
+				c.Recv(1, 2, make([]byte, 1)) // all delivered
+				dt = c.Wtime() - t0
+			} else {
+				c.Barrier()
+				for i := 0; i < n; i++ {
+					c.Recv(0, 1, make([]byte, 128))
+				}
+				c.Send(0, 2, make([]byte, 1))
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return dt * 1e6
+	}
+	agg := cluster.MPICH2NmadIB()
+	noAgg := cluster.MPICH2NmadIB()
+	noAgg.Name = "mpich2-nmad-ib-noaggr"
+	noAgg.Strategy = nmad.StratDefault
+	for _, tc := range []struct {
+		name  string
+		stack cluster.Stack
+	}{{"Aggregation", agg}, {"Default", noAgg}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var us float64
+			for i := 0; i < b.N; i++ {
+				us = burst(tc.stack)
+			}
+			b.ReportMetric(us, "us_burst64x128B")
+		})
+	}
+}
+
+// BenchmarkAblationSplitRatio compares the sampling-derived split against a
+// static 50/50 split on asymmetric rails (IB at full rate, MX at half rate).
+func BenchmarkAblationSplitRatio(b *testing.B) {
+	slowMX := cluster.RailMX()
+	slowMX.BytesPerSec /= 2
+	adaptive := cluster.MPICH2Nmad("nmad-multi-adaptive", cluster.RailIB(), slowMX)
+	static := cluster.MPICH2Nmad("nmad-multi-static", cluster.RailIB(), slowMX)
+	static.Strategy = nmad.StratSplitStatic
+	for _, tc := range []struct {
+		name  string
+		stack cluster.Stack
+	}{{"AdaptiveSampling", adaptive}, {"Static5050", static}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				mbps = bwMBps(b, tc.stack, 16<<20)
+			}
+			b.ReportMetric(mbps, "MBps_16MB")
+		})
+	}
+}
+
+// BenchmarkAblationAnySource quantifies the §3.2 probe-and-post machinery.
+func BenchmarkAblationAnySource(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		any  bool
+	}{{"KnownSource", false}, {"AnySource", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var us float64
+			for i := 0; i < b.N; i++ {
+				us = oneWayUS(b, cluster.MPICH2NmadIB(), 4,
+					bench.NetpipeOptions{Iters: 10, AnySource: tc.any})
+			}
+			b.ReportMetric(us, "us_oneway")
+		})
+	}
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/nmad"
+)
+
+func allPresets() []Stack {
+	return []Stack{
+		MPICH2NmadIB(), MPICH2NmadMX(), MPICH2NmadMulti(),
+		MVAPICH2(), OpenMPIIB(), OpenMPIBTLMX(), OpenMPICMMX(),
+		MPICH2NemesisGeneric(),
+	}
+}
+
+func TestAllPresetRailsValidate(t *testing.T) {
+	for _, s := range allPresets() {
+		if len(s.Rails) == 0 {
+			t.Errorf("%s has no rails", s.Name)
+		}
+		for _, r := range s.Rails {
+			if err := r.Validate(); err != nil {
+				t.Errorf("%s: %v", s.Name, err)
+			}
+		}
+	}
+}
+
+func TestPresetNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range allPresets() {
+		if seen[s.Name] {
+			t.Errorf("duplicate stack name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestWithPIOMan(t *testing.T) {
+	base := MPICH2NmadIB()
+	pio := base.WithPIOMan(true)
+	if !pio.PIOMan || pio.Name == base.Name {
+		t.Fatalf("WithPIOMan(true) = %+v", pio)
+	}
+	cfg := pio.PioConfig()
+	if !cfg.Enabled || cfg.SyncShm != 450 || cfg.SyncNet != 2000 {
+		t.Fatalf("PioConfig = %+v", cfg)
+	}
+	off := pio.WithPIOMan(false)
+	if off.PIOMan {
+		t.Fatal("WithPIOMan(false) left PIOMan on")
+	}
+	// The base preset itself must not run the background thread.
+	if base.PioConfig().Enabled {
+		t.Fatal("base preset enables PIOMan")
+	}
+}
+
+func TestEfficiencyDefaults(t *testing.T) {
+	var s Stack
+	if s.Efficiency() != 1.0 {
+		t.Fatalf("zero-value efficiency = %v", s.Efficiency())
+	}
+	if got := OpenMPIIB().Efficiency(); got != 0.90 {
+		t.Fatalf("OpenMPI efficiency = %v", got)
+	}
+	if got := MVAPICH2().Efficiency(); got != 1.0 {
+		t.Fatalf("MVAPICH2 efficiency = %v", got)
+	}
+}
+
+func TestMultirailPresetUsesSplitStrategy(t *testing.T) {
+	m := MPICH2NmadMulti()
+	if len(m.Rails) != 2 {
+		t.Fatalf("multirail preset has %d rails", len(m.Rails))
+	}
+	if m.Strategy != nmad.StratSplitBalance {
+		t.Fatalf("multirail strategy = %v", m.Strategy)
+	}
+	single := MPICH2NmadIB()
+	if single.Strategy != nmad.StratAggreg {
+		t.Fatalf("single-rail strategy = %v", single.Strategy)
+	}
+}
+
+func TestBackendAssignments(t *testing.T) {
+	if MPICH2NmadIB().Backend != BackendDirect {
+		t.Error("nmad stack must use the direct backend")
+	}
+	if MVAPICH2().Backend != BackendPacket || OpenMPIIB().Backend != BackendPacket {
+		t.Error("baselines must use the packet backend")
+	}
+	if MPICH2NemesisGeneric().Backend != BackendGenericNmad {
+		t.Error("generic stack must use the generic-nmad backend")
+	}
+}
+
+func TestRegCacheOnlyOnMVAPICH(t *testing.T) {
+	if !MVAPICH2().Rails[0].RegCache {
+		t.Error("MVAPICH2 models a registration cache")
+	}
+	if MPICH2NmadIB().Rails[0].RegCache {
+		t.Error("NewMadeleine registers on the fly (§4.1.1): no cache")
+	}
+	if OpenMPIIB().Rails[0].RegCache {
+		t.Error("Open MPI 1.2.7 openib preset models no long-lived cache")
+	}
+}
+
+func TestCalibrationRelationshipsStatic(t *testing.T) {
+	// Wire-level sanity: IB is lower latency and higher bandwidth than MX.
+	ib, mx := RailIB(), RailMX()
+	if ib.Latency >= mx.Latency {
+		t.Error("IB latency must undercut MX")
+	}
+	if ib.BytesPerSec <= mx.BytesPerSec {
+		t.Error("IB bandwidth must exceed MX")
+	}
+	// Testbeds re-exported.
+	if Xeon2().NumNodes != 2 || Grid5000().NumNodes != 10 {
+		t.Error("testbed re-exports wrong")
+	}
+}

@@ -1,0 +1,40 @@
+// Command multirail regenerates Fig. 5 (heterogeneous multirail latency and
+// bandwidth) and prints the sampling tables and split ratios NewMadeleine
+// derives for the configured rails (§2.2, [4]).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/bench"
+	"repro/cluster"
+)
+
+func main() {
+	showSampling := flag.Bool("sampling", true, "print the rails' sampling estimates")
+	flag.Parse()
+
+	if *showSampling {
+		fmt.Println("# network sampling estimates (one-way transfer time)")
+		fmt.Printf("%-10s %14s %14s\n", "size", "ib (us)", "mx (us)")
+		ib := cluster.RailIB()
+		mx := cluster.RailMX()
+		for size := 1; size <= 64<<20; size *= 16 {
+			fmt.Printf("%-10s %14.2f %14.2f\n", bench.SizeLabel(float64(size)),
+				ib.EstimateXfer(size).Micros(), mx.EstimateXfer(size).Micros())
+		}
+		fmt.Println()
+	}
+
+	for _, gen := range []func() (*bench.Figure, error){bench.Fig5a, bench.Fig5b} {
+		f, err := gen()
+		if err != nil {
+			log.Fatal(err)
+		}
+		f.WriteTable(os.Stdout)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,47 @@
+// Command nasbench regenerates the NAS panels of Fig. 8: per process count
+// (8/9, 16, 32/36, 64), execution times of the BT, CG, EP, FT, SP, MG and LU
+// class C kernels under MVAPICH2, Open MPI, MPICH2-NMad and MPICH2-NMad with
+// PIOMan. IS is omitted as in the paper. Smaller classes (-class A/B/S) run
+// much faster and keep the same relative shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/bench"
+	"repro/internal/nas"
+)
+
+func main() {
+	classFlag := flag.String("class", "C", "problem class: S, A, B or C")
+	npFlag := flag.String("np", "8,16,32,64", "comma-separated process counts")
+	kernFlag := flag.String("kernels", "BT,CG,EP,FT,SP,MG,LU", "kernels to run")
+	flag.Parse()
+
+	class := nas.Class((*classFlag)[0])
+	var kernels []nas.Kernel
+	for _, name := range strings.Split(*kernFlag, ",") {
+		k, err := nas.KernelByName(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		kernels = append(kernels, k)
+	}
+	for _, npStr := range strings.Split(*npFlag, ",") {
+		var np int
+		if _, err := fmt.Sscanf(strings.TrimSpace(npStr), "%d", &np); err != nil {
+			log.Fatalf("bad np %q", npStr)
+		}
+		res, err := bench.RunNAS(class, np, kernels, bench.NASStacks())
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.WriteNASTable(os.Stdout,
+			fmt.Sprintf("fig8 — NAS class %c, %d processes", class, np), res)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 4a 4b 5a 5b 6a 6b (or all)")
+	flag.Parse()
+	gens := map[string]func() (*bench.Figure, error){
+		"4a": bench.Fig4a, "4b": bench.Fig4b,
+		"5a": bench.Fig5a, "5b": bench.Fig5b,
+		"6a": bench.Fig6a, "6b": bench.Fig6b,
+	}
+	names := []string{"4a", "4b", "5a", "5b", "6a", "6b"}
+	if *fig != "all" {
+		names = []string{*fig}
+	}
+	for _, n := range names {
+		gen, ok := gens[n]
+		if !ok {
+			log.Fatalf("unknown figure %q", n)
+		}
+		f, err := gen()
+		if err != nil {
+			log.Fatalf("fig %s: %v", n, err)
+		}
+		f.WriteTable(os.Stdout)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 7a 7b (or all)")
+	flag.Parse()
+	gens := map[string]func() (*bench.Figure, error){
+		"7a": bench.Fig7a, "7b": bench.Fig7b,
+	}
+	names := []string{"7a", "7b"}
+	if *fig != "all" {
+		names = []string{*fig}
+	}
+	for _, n := range names {
+		gen, ok := gens[n]
+		if !ok {
+			log.Fatalf("unknown figure %q", n)
+		}
+		f, err := gen()
+		if err != nil {
+			log.Fatalf("fig %s: %v", n, err)
+		}
+		f.WriteTable(os.Stdout)
+		fmt.Println()
+	}
+}

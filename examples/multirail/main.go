@@ -1,0 +1,70 @@
+// Multirail: transfer one large message over a heterogeneous Infiniband +
+// Myri-10G configuration and show how NewMadeleine's sampling-derived split
+// ratio distributes the payload so both rails finish together (§2.2, Fig. 5).
+// Run with:
+//
+//	go run ./examples/multirail
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/cluster"
+	"repro/internal/topo"
+	"repro/mpi"
+)
+
+func run(name string, stack cluster.Stack, size int) *mpi.Report {
+	cfg := mpi.Config{
+		Cluster:   cluster.Xeon2(),
+		Stack:     stack,
+		NP:        2,
+		Placement: topo.Placement{0, 1},
+	}
+	var oneWay float64
+	report, err := mpi.Run(cfg, func(c *mpi.Comm) {
+		msg := make([]byte, size)
+		c.Barrier()
+		t0 := c.Wtime()
+		if c.Rank() == 0 {
+			c.Send(1, 1, msg)
+			c.Recv(1, 1, msg)
+		} else {
+			c.Recv(0, 1, msg)
+			c.Send(0, 1, msg)
+		}
+		if c.Rank() == 0 {
+			oneWay = (c.Wtime() - t0) / 2
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s %8.0f MB/s", name, float64(size)/oneWay/(1<<20))
+	for _, r := range report.Rails {
+		if r.Bytes > 0 {
+			fmt.Printf("   [%s: %d pkts, %.1f MB]", r.Name, r.Packets,
+				float64(r.Bytes)/(1<<20))
+		}
+	}
+	fmt.Println()
+	return report
+}
+
+func main() {
+	const size = 16 << 20
+	fmt.Printf("one-way transfer of %d MB:\n\n", size>>20)
+	run("Infiniband only", cluster.MPICH2NmadIB(), size)
+	run("Myri-10G only", cluster.MPICH2NmadMX(), size)
+	rep := run("Multirail (sampling split)", cluster.MPICH2NmadMulti(), size)
+
+	// The split ratio the strategy chose, from the rail byte counts.
+	if len(rep.Rails) == 2 && rep.Rails[0].Bytes+rep.Rails[1].Bytes > 0 {
+		total := float64(rep.Rails[0].Bytes + rep.Rails[1].Bytes)
+		fmt.Printf("\nsplit ratio: %.1f%% %s / %.1f%% %s (sampling predicts the\n"+
+			"ratio of the rails' bandwidths, adjusted for their latencies)\n",
+			float64(rep.Rails[0].Bytes)/total*100, rep.Rails[0].Name,
+			float64(rep.Rails[1].Bytes)/total*100, rep.Rails[1].Name)
+	}
+}

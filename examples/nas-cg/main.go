@@ -1,0 +1,42 @@
+// NAS CG: run the conjugate-gradient kernel end-to-end on 16 simulated
+// processes (Grid5000 testbed) under all four MPI stacks of Fig. 8.
+// Class A finishes in seconds of wall time; pass -class C -np 8 for the
+// paper's configuration. Run with:
+//
+//	go run ./examples/nas-cg [-class A] [-np 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/bench"
+	"repro/internal/nas"
+)
+
+func main() {
+	classFlag := flag.String("class", "A", "problem class: S, A, B, C")
+	np := flag.Int("np", 16, "process count (power of two)")
+	flag.Parse()
+
+	cg, err := nas.KernelByName("CG")
+	if err != nil {
+		log.Fatal(err)
+	}
+	class := nas.Class((*classFlag)[0])
+
+	fmt.Printf("NAS CG class %c on %d processes (Grid5000 testbed):\n\n", class, *np)
+	for _, stack := range bench.NASStacks() {
+		res, err := bench.RunNASKernel(cg, stack, *np, class)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "verified"
+		if !res.Verified {
+			status = "VERIFICATION FAILED"
+		}
+		fmt.Printf("%-26s %10.2fs  (%s, np=%d)\n",
+			stack.Name, res.Seconds, status, res.NP)
+	}
+}

@@ -1,0 +1,654 @@
+package ch3
+
+import (
+	"fmt"
+
+	"repro/internal/nemesis"
+	"repro/internal/pioman"
+	"repro/internal/shmq"
+	"repro/internal/vtime"
+)
+
+// Config carries the per-stack CH3 software cost model.
+type Config struct {
+	// SendSW / RecvSW are the per-operation software overheads of the
+	// MPI + ADI3 + CH3 layers, charged at Isend/Irecv time.
+	SendSW vtime.Duration
+	RecvSW vtime.Duration
+	// EagerShmMax is the largest message sent eagerly over shared memory;
+	// larger messages use the CH3 rendezvous protocol.
+	EagerShmMax int
+	// CTSCost is the host cost of emitting a CH3 clear-to-send.
+	CTSCost vtime.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.EagerShmMax == 0 {
+		c.EagerShmMax = 64 << 10
+	}
+	if c.CTSCost == 0 {
+		c.CTSCost = 50
+	}
+	return c
+}
+
+// Origin abstracts the path an arrival took so rendezvous replies travel the
+// same way. Implementations: the shared-memory channel (here) and the packet
+// backends (internal/core).
+type Origin interface {
+	OriginName() string
+	// SendCTS emits a clear-to-send back to dst; returns host cost.
+	SendCTS(p *Process, dst int32, senderCookie, recvCookie uint64, granted int) vtime.Duration
+	// SendRdvData transmits req.Data()[:granted] to dst, tagged with the
+	// receiver cookie; req completes when the data is fully submitted.
+	SendRdvData(p *Process, req *Request, dst int32, recvCookie uint64, granted int)
+	// DataCopyCost is the receiver-side cost of landing n rendezvous bytes
+	// (memory copy for shm; ~0 for RDMA-capable network backends).
+	DataCopyCost(p *Process, n int) vtime.Duration
+}
+
+type asmKey struct {
+	src int32
+	seq uint32
+}
+
+// assembly tracks a multi-fragment eager message being reassembled.
+type assembly struct {
+	req      *Request // non-nil when matched to a posted receive
+	uq       *uqEntry // non-nil when unexpected
+	received int
+	msgLen   int
+	bufLimit int // bytes we can actually store (truncation)
+	ctx, src int32
+	tag      int32
+}
+
+// shmJob is a queued shared-memory transmission (eager data, RTS/CTS
+// control, or rendezvous data), advanced as free cells permit.
+type shmJob struct {
+	req     *Request // completed when the job finishes (may be nil)
+	dst     int
+	hdr     shmq.Header
+	data    []byte
+	off     int
+	control bool // exactly one (possibly empty) cell
+	sent    bool // control/empty-data cell emitted
+}
+
+// VC is the per-peer virtual connection. SendFn, when non-nil, overrides the
+// CH3 send path for this destination — the function-pointer mechanism of
+// §3.1.2 through which MPID_Send reaches NewMadeleine directly.
+type VC struct {
+	Peer     int
+	SameNode bool
+	SendFn   func(proc *vtime.Proc, req *Request)
+}
+
+// Process is one rank's CH3/ADI3 state.
+type Process struct {
+	Rank int
+	Size int
+
+	e   *vtime.Engine
+	Mgr *pioman.Manager
+	cfg Config
+
+	shm     *nemesis.Endpoint
+	vcs     []*VC
+	backend NetBackend
+
+	posted []*Request
+	uq     []*uqEntry
+
+	seqTo      []uint32
+	jobs       [][]*shmJob
+	activeDsts []int
+
+	asm        map[asmKey]*assembly
+	rdvIn      map[uint64]*Request
+	rdvOut     map[uint64]*Request
+	nextCookie uint64
+
+	// Stats.
+	ShmEagerSends int64
+	ShmRdvSends   int64
+	UnexpectedLen int64
+}
+
+// NewProcess wires a CH3 process. shm may be nil when the rank shares a node
+// with nobody. The backend must be set with SetBackend before any traffic.
+func NewProcess(e *vtime.Engine, rank, size int, mgr *pioman.Manager,
+	shm *nemesis.Endpoint, sameNode []bool, cfg Config) *Process {
+	p := &Process{
+		Rank: rank, Size: size, e: e, Mgr: mgr, cfg: cfg.withDefaults(),
+		shm:    shm,
+		seqTo:  make([]uint32, size),
+		jobs:   make([][]*shmJob, size),
+		asm:    make(map[asmKey]*assembly),
+		rdvIn:  make(map[uint64]*Request),
+		rdvOut: make(map[uint64]*Request),
+	}
+	p.vcs = make([]*VC, size)
+	for i := 0; i < size; i++ {
+		p.vcs[i] = &VC{Peer: i, SameNode: sameNode != nil && sameNode[i]}
+	}
+	if shm != nil {
+		shm.SetHandler(func(hdr shmq.Header, payload []byte) vtime.Duration {
+			return p.HandleArrival(hdr, payload, shmOrigin{})
+		})
+		shm.SetNotify(mgr.Notify)
+		mgr.Register(shm, pioman.ClassShm)
+	}
+	mgr.Register(p, pioman.ClassShm)
+	return p
+}
+
+// SetBackend installs the inter-node backend.
+func (p *Process) SetBackend(b NetBackend) { p.backend = b }
+
+// Backend returns the installed backend.
+func (p *Process) Backend() NetBackend { return p.backend }
+
+// VCOf returns the virtual connection to rank.
+func (p *Process) VCOf(rank int) *VC { return p.vcs[rank] }
+
+// Engine returns the simulation engine.
+func (p *Process) Engine() *vtime.Engine { return p.e }
+
+// ShmMemBW returns the node copy bandwidth (0 when no shm endpoint).
+func (p *Process) ShmMemBW() float64 {
+	if p.shm == nil {
+		return 4e9
+	}
+	return p.shm.Options().MemBW
+}
+
+// NewSendRequest builds a send request (exposed for backends and tests).
+func (p *Process) NewSendRequest(dst int, tag, ctx int32, data []byte) *Request {
+	return &Request{p: p, kind: sendReq, dst: int32(dst), tag: tag, ctx: ctx, data: data}
+}
+
+// Isend starts a send of data to dst under (ctx, tag). The caller's proc is
+// charged the software overhead; same-node traffic goes through the Nemesis
+// cell queues, remote traffic through the VC send override or backend.
+func (p *Process) Isend(proc *vtime.Proc, dst int, tag, ctx int32, data []byte) *Request {
+	if p.cfg.SendSW > 0 {
+		proc.Sleep(p.cfg.SendSW)
+	}
+	r := p.NewSendRequest(dst, tag, ctx, data)
+	if dst == p.Rank {
+		panic("ch3: self-send must be handled by the MPI layer")
+	}
+	vc := p.vcs[dst]
+	if vc.SameNode {
+		p.isendShm(proc, r)
+		return r
+	}
+	if vc.SendFn != nil {
+		vc.SendFn(proc, r)
+		return r
+	}
+	p.backend.Isend(proc, r)
+	return r
+}
+
+func (p *Process) isendShm(proc *vtime.Proc, r *Request) {
+	dst := int(r.dst)
+	seq := p.seqTo[dst]
+	p.seqTo[dst]++
+	if len(r.data) <= p.cfg.EagerShmMax {
+		p.ShmEagerSends++
+		p.pushJob(&shmJob{
+			req: r, dst: dst,
+			hdr: shmq.Header{Type: shmq.CellData, Tag: r.tag, Ctx: r.ctx,
+				SeqNo: seq, MsgLen: int64(len(r.data))},
+			data: r.data,
+		})
+	} else {
+		p.ShmRdvSends++
+		p.nextCookie++
+		cookie := p.nextCookie
+		r.cookie = cookie
+		p.rdvOut[cookie] = r
+		p.pushJob(&shmJob{
+			dst: dst,
+			hdr: shmq.Header{Type: shmq.CellRTS, Tag: r.tag, Ctx: r.ctx,
+				SeqNo: seq, MsgLen: int64(len(r.data)), ReqID: cookie},
+			control: true,
+		})
+	}
+	// Advance inline for latency; stalled fragments continue under Poll.
+	if cost := p.advanceJobs(); cost > 0 {
+		proc.Sleep(cost)
+	}
+}
+
+// Irecv posts a receive for (ctx, src, tag); src may be AnySource and tag
+// AnyTag. The unexpected queue is consulted first; otherwise the request is
+// enqueued on the posted receive queue and/or handed to the backend.
+func (p *Process) Irecv(proc *vtime.Proc, src int, tag, ctx int32, buf []byte) *Request {
+	if p.cfg.RecvSW > 0 {
+		proc.Sleep(p.cfg.RecvSW)
+	}
+	r := &Request{p: p, kind: recvReq, src: int32(src), tag: tag, ctx: ctx, buf: buf}
+
+	if cost, matched := p.tryUnexpected(r); matched {
+		if cost > 0 {
+			proc.Sleep(cost)
+		}
+		return r
+	}
+
+	central := p.backend == nil || p.backend.CentralMatching()
+	remoteKnown := src != int(AnySource) && !p.vcs[src].SameNode
+
+	if src == int(AnySource) || !remoteKnown || central {
+		p.posted = append(p.posted, r)
+	}
+	if p.backend != nil {
+		if src == int(AnySource) {
+			p.backend.PostRecvAny(r)
+			// A matching message may already sit in the library's buffers;
+			// only a progress pass (the ANY_SOURCE probe, §3.2.2) can marry
+			// them, so nudge the progress engine — essential under PIOMan,
+			// where nobody polls on the application thread.
+			p.Mgr.Notify()
+		} else if remoteKnown && !central {
+			p.backend.PostRecv(r)
+		}
+	}
+	return r
+}
+
+// tryUnexpected scans the unexpected queue for a match; on success it
+// consumes/claims the entry and returns the copy cost.
+func (p *Process) tryUnexpected(r *Request) (vtime.Duration, bool) {
+	for i, u := range p.uq {
+		if u.org == nil {
+			continue // claimed already
+		}
+		if !r.matches(u.ctx, u.src, u.tag) {
+			continue
+		}
+		if u.isRTS {
+			p.uq = append(p.uq[:i], p.uq[i+1:]...)
+			cost := p.startRdvRecv(r, u.src, u.tag, u.msgLen, u.rtsCookie, u.org)
+			return cost, true
+		}
+		if u.pendingFrags > 0 {
+			// Partially assembled: claim it; completion happens when the
+			// last fragment lands. The prefix already buffered is copied
+			// out now.
+			a := p.asm[u.key]
+			a.req = r
+			a.uq = nil
+			n := copy(r.buf, u.data[:a.received])
+			p.uq = append(p.uq[:i], p.uq[i+1:]...)
+			return copyCost(n, p.ShmMemBW()), true
+		}
+		p.uq = append(p.uq[:i], p.uq[i+1:]...)
+		n := copy(r.buf, u.data)
+		r.SetRecvStatus(u.src, u.tag, n, n < u.msgLen)
+		r.Complete()
+		return copyCost(n, p.ShmMemBW()), true
+	}
+	return 0, false
+}
+
+// MatchPosted removes and returns the first posted receive matching the
+// arrival triple, or nil. Exposed for central-matching backends.
+func (p *Process) MatchPosted(ctx, src, tag int32) *Request {
+	for i, r := range p.posted {
+		if r.matches(ctx, src, tag) {
+			p.posted = append(p.posted[:i], p.posted[i+1:]...)
+			if r.src == AnySource && p.backend != nil {
+				p.backend.ShmMatchedAny(r)
+			}
+			return r
+		}
+	}
+	return nil
+}
+
+// RemovePosted drops a request from the posted queue (direct-module
+// completion path). It is a no-op if the request is not queued.
+func (p *Process) RemovePosted(r *Request) {
+	for i, q := range p.posted {
+		if q == r {
+			p.posted = append(p.posted[:i], p.posted[i+1:]...)
+			return
+		}
+	}
+}
+
+// PostedLen and UnexpectedQLen expose queue depths for tests.
+func (p *Process) PostedLen() int      { return len(p.posted) }
+func (p *Process) UnexpectedQLen() int { return len(p.uq) }
+
+// Wait blocks until r completes, driving progress per the configured regime.
+func (p *Process) Wait(proc *vtime.Proc, r *Request) {
+	p.Mgr.WaitUntil(proc, r.Done)
+}
+
+// WaitAll blocks until every request completes.
+func (p *Process) WaitAll(proc *vtime.Proc, rs []*Request) {
+	p.Mgr.WaitUntil(proc, func() bool {
+		for _, r := range rs {
+			if r != nil && !r.Done() {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// RegisterRdvOut assigns a rendezvous cookie to a send request and tracks
+// it until the CTS arrives. Packet backends use it when emitting an RTS.
+func (p *Process) RegisterRdvOut(r *Request) uint64 {
+	p.nextCookie++
+	r.cookie = p.nextCookie
+	p.rdvOut[r.cookie] = r
+	return r.cookie
+}
+
+// RdvInReq returns the receive request registered under a rendezvous cookie.
+func (p *Process) RdvInReq(cookie uint64) *Request { return p.rdvIn[cookie] }
+
+// CompleteRdvIn completes the receive request behind cookie; backends whose
+// rendezvous data bypasses HandleArrival (e.g. the generic Nemesis module
+// sending data as a nested NewMadeleine message) call this when the library
+// delivers the payload directly into the user buffer.
+func (p *Process) CompleteRdvIn(cookie uint64) {
+	r := p.rdvIn[cookie]
+	if r == nil {
+		panic(fmt.Sprintf("ch3[%d]: CompleteRdvIn unknown cookie %d", p.Rank, cookie))
+	}
+	delete(p.rdvIn, cookie)
+	r.Complete()
+}
+
+// ---- pioman source: job advancement + backend progress -------------------
+
+// SourceName implements pioman.Source.
+func (p *Process) SourceName() string { return fmt.Sprintf("ch3[%d]", p.Rank) }
+
+// Poll implements pioman.Source.
+func (p *Process) Poll() (int, vtime.Duration) {
+	cost := p.advanceJobs()
+	events := 0
+	if cost > 0 {
+		events++
+	}
+	if p.backend != nil {
+		n, c := p.backend.Progress()
+		events += n
+		cost += c
+	}
+	return events, cost
+}
+
+func (p *Process) pushJob(j *shmJob) {
+	if len(p.jobs[j.dst]) == 0 {
+		p.activeDsts = append(p.activeDsts, j.dst)
+	}
+	p.jobs[j.dst] = append(p.jobs[j.dst], j)
+}
+
+// advanceJobs pushes fragments of queued shm jobs into free cells, in
+// per-destination FIFO order. Returns the accumulated host cost.
+func (p *Process) advanceJobs() vtime.Duration {
+	if p.shm == nil || len(p.activeDsts) == 0 {
+		return 0
+	}
+	var cost vtime.Duration
+	var still []int
+	for _, dst := range p.activeDsts {
+		q := p.jobs[dst]
+		for len(q) > 0 {
+			j := q[0]
+			c, done := p.advanceOne(j)
+			cost += c
+			if !done {
+				break // flow control: retry when a cell frees
+			}
+			q = q[1:]
+		}
+		p.jobs[dst] = q
+		if len(q) > 0 {
+			still = append(still, dst)
+		}
+	}
+	p.activeDsts = still
+	return cost
+}
+
+func (p *Process) advanceOne(j *shmJob) (vtime.Duration, bool) {
+	var cost vtime.Duration
+	maxFrag := p.shm.MaxFragment()
+	for {
+		if j.control || len(j.data) == 0 {
+			if j.sent {
+				p.finishJob(j)
+				return cost, true
+			}
+			// Control cells keep their header verbatim (CTS carries the
+			// receiver cookie in Offset).
+			c, ok := p.shm.TrySendFragment(j.dst, j.hdr, nil)
+			if !ok {
+				return cost, false
+			}
+			cost += c
+			j.sent = true
+			p.finishJob(j)
+			return cost, true
+		}
+		if j.off >= len(j.data) {
+			p.finishJob(j)
+			return cost, true
+		}
+		end := j.off + maxFrag
+		if end > len(j.data) {
+			end = len(j.data)
+		}
+		hdr := j.hdr
+		hdr.Offset = int64(j.off)
+		c, ok := p.shm.TrySendFragment(j.dst, hdr, j.data[j.off:end])
+		if !ok {
+			return cost, false
+		}
+		cost += c
+		j.off = end
+	}
+}
+
+func (p *Process) finishJob(j *shmJob) {
+	if j.req != nil && !j.req.done {
+		j.req.Complete()
+	}
+}
+
+// ---- arrival handling (shared by shm cells and packet backends) ----------
+
+type shmOrigin struct{}
+
+func (shmOrigin) OriginName() string { return "shm" }
+
+func (shmOrigin) SendCTS(p *Process, dst int32, senderCookie, recvCookie uint64, granted int) vtime.Duration {
+	p.pushJob(&shmJob{
+		dst: int(dst),
+		hdr: shmq.Header{Type: shmq.CellCTS, ReqID: senderCookie,
+			MsgLen: int64(granted), Offset: int64(recvCookie)},
+		control: true,
+	})
+	return p.cfg.CTSCost
+}
+
+func (shmOrigin) SendRdvData(p *Process, req *Request, dst int32, recvCookie uint64, granted int) {
+	p.pushJob(&shmJob{
+		req: req, dst: int(dst),
+		hdr: shmq.Header{Type: shmq.CellRdvData, ReqID: recvCookie,
+			MsgLen: int64(granted)},
+		data: req.data[:granted],
+	})
+}
+
+func (shmOrigin) DataCopyCost(p *Process, n int) vtime.Duration {
+	return copyCost(n, p.ShmMemBW())
+}
+
+// HandleArrival processes one arrived CH3 packet (a shm cell or an
+// assembled network packet) and returns the host cost of handling it.
+func (p *Process) HandleArrival(hdr shmq.Header, payload []byte, org Origin) vtime.Duration {
+	switch hdr.Type {
+	case shmq.CellData:
+		return p.handleEagerFrag(hdr, payload, org)
+	case shmq.CellRTS:
+		return p.handleRTS(hdr, org)
+	case shmq.CellCTS:
+		return p.handleCTS(hdr, org)
+	case shmq.CellRdvData:
+		return p.handleRdvData(hdr, payload, org)
+	}
+	panic(fmt.Sprintf("ch3[%d]: unknown packet type %d", p.Rank, hdr.Type))
+}
+
+func (p *Process) handleEagerFrag(hdr shmq.Header, payload []byte, org Origin) vtime.Duration {
+	key := asmKey{src: hdr.Src, seq: hdr.SeqNo}
+	msgLen := int(hdr.MsgLen)
+
+	if a, ok := p.asm[key]; ok {
+		// Continuation fragment.
+		var cost vtime.Duration
+		if a.req != nil {
+			n := copySlice(a.req.buf, int(hdr.Offset), payload)
+			cost = copyCost(n, p.ShmMemBW())
+		} else {
+			n := copySlice(a.uq.data, int(hdr.Offset), payload)
+			cost = copyCost(n, p.ShmMemBW())
+		}
+		a.received += len(payload)
+		if a.received >= a.msgLen {
+			delete(p.asm, key)
+			if a.req != nil {
+				n := a.msgLen
+				if n > len(a.req.buf) {
+					n = len(a.req.buf)
+				}
+				a.req.SetRecvStatus(a.src, a.tag, n, n < a.msgLen)
+				a.req.Complete()
+			} else {
+				a.uq.pendingFrags = 0
+			}
+		}
+		return cost
+	}
+
+	// First fragment: match.
+	if r := p.MatchPosted(hdr.Ctx, hdr.Src, hdr.Tag); r != nil {
+		n := copy(r.buf, payload)
+		cost := copyCost(n, p.ShmMemBW())
+		if len(payload) >= msgLen {
+			lim := msgLen
+			if lim > len(r.buf) {
+				lim = len(r.buf)
+			}
+			r.SetRecvStatus(hdr.Src, hdr.Tag, lim, lim < msgLen)
+			r.Complete()
+			return cost
+		}
+		p.asm[key] = &assembly{req: r, received: len(payload), msgLen: msgLen,
+			ctx: hdr.Ctx, src: hdr.Src, tag: hdr.Tag}
+		return cost
+	}
+
+	// Unexpected: buffer the whole message (the extra copy of §2.1.3).
+	u := &uqEntry{ctx: hdr.Ctx, src: hdr.Src, tag: hdr.Tag, msgLen: msgLen,
+		data: make([]byte, msgLen), org: org}
+	n := copy(u.data, payload)
+	cost := copyCost(n, p.ShmMemBW())
+	p.UnexpectedLen++
+	if len(payload) < msgLen {
+		u.pendingFrags = 1
+		u.key = key
+		p.asm[key] = &assembly{uq: u, received: len(payload), msgLen: msgLen,
+			ctx: hdr.Ctx, src: hdr.Src, tag: hdr.Tag}
+	}
+	p.uq = append(p.uq, u)
+	return cost
+}
+
+func (p *Process) handleRTS(hdr shmq.Header, org Origin) vtime.Duration {
+	if r := p.MatchPosted(hdr.Ctx, hdr.Src, hdr.Tag); r != nil {
+		return p.startRdvRecv(r, hdr.Src, hdr.Tag, int(hdr.MsgLen), hdr.ReqID, org)
+	}
+	p.uq = append(p.uq, &uqEntry{ctx: hdr.Ctx, src: hdr.Src, tag: hdr.Tag,
+		msgLen: int(hdr.MsgLen), isRTS: true, rtsCookie: hdr.ReqID, org: org})
+	p.UnexpectedLen++
+	return 0
+}
+
+func (p *Process) startRdvRecv(r *Request, src, tag int32, msgLen int, senderCookie uint64, org Origin) vtime.Duration {
+	granted := msgLen
+	if granted > len(r.buf) {
+		granted = len(r.buf)
+	}
+	r.SetRecvStatus(src, tag, granted, granted < msgLen)
+	if granted == 0 {
+		cost := org.SendCTS(p, src, senderCookie, 0, 0)
+		r.Complete()
+		return cost
+	}
+	p.nextCookie++
+	cookie := p.nextCookie
+	r.cookie = cookie
+	r.remaining = granted
+	p.rdvIn[cookie] = r
+	return org.SendCTS(p, src, senderCookie, cookie, granted)
+}
+
+func (p *Process) handleCTS(hdr shmq.Header, org Origin) vtime.Duration {
+	r := p.rdvOut[hdr.ReqID]
+	if r == nil {
+		panic(fmt.Sprintf("ch3[%d]: CTS for unknown cookie %d", p.Rank, hdr.ReqID))
+	}
+	delete(p.rdvOut, hdr.ReqID)
+	granted := int(hdr.MsgLen)
+	if granted == 0 {
+		r.Complete()
+		return p.cfg.CTSCost
+	}
+	recvCookie := uint64(hdr.Offset)
+	org.SendRdvData(p, r, hdr.Src, recvCookie, granted)
+	return p.cfg.CTSCost
+}
+
+func (p *Process) handleRdvData(hdr shmq.Header, payload []byte, org Origin) vtime.Duration {
+	r := p.rdvIn[hdr.ReqID]
+	if r == nil {
+		panic(fmt.Sprintf("ch3[%d]: rdv data for unknown cookie %d", p.Rank, hdr.ReqID))
+	}
+	copySlice(r.buf, int(hdr.Offset), payload)
+	cost := org.DataCopyCost(p, len(payload))
+	r.remaining -= len(payload)
+	if r.remaining <= 0 {
+		delete(p.rdvIn, hdr.ReqID)
+		r.Complete()
+	}
+	return cost
+}
+
+// copySlice copies src into dst at off, clipping to dst's length; it
+// returns the bytes copied.
+func copySlice(dst []byte, off int, src []byte) int {
+	if off >= len(dst) {
+		return 0
+	}
+	return copy(dst[off:], src)
+}
+
+func copyCost(n int, bw float64) vtime.Duration {
+	if n <= 0 || bw <= 0 {
+		return 0
+	}
+	return vtime.Duration(float64(n) / bw * 1e9)
+}

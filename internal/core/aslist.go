@@ -1,0 +1,151 @@
+package core
+
+import (
+	"repro/internal/ch3"
+)
+
+// asKey identifies one ANY_SOURCE pending list: the paper keeps one sublist
+// per MPI tag (Fig. 3); contexts separate communicators.
+type asKey struct {
+	ctx int32
+	tag int32
+}
+
+// asList is one per-tag pending list. Its head is always an ANY_SOURCE
+// request; behind it, requests posted later with the same tag — regular
+// (known-source) or ANY_SOURCE — wait in post order so that message ordering
+// is preserved (§3.2.2): regular requests must not be handed to NewMadeleine
+// while an earlier ANY_SOURCE request could match the same message.
+type asList struct {
+	key   asKey
+	queue []*ch3.Request // queue[0] is the head (ANY_SOURCE)
+	// headPosted records that the head's NewMadeleine request has been
+	// created after a successful probe. Because a probed message already
+	// sits in NewMadeleine's buffers, posting completes it synchronously,
+	// so this flag is only ever observed false by ShmMatchedAny.
+	headPosted bool
+}
+
+// asSet is the "main list" of Fig. 3: the collection of per-tag lists. A
+// deterministic slice keeps probe order stable; the index accelerates lookup.
+type asSet struct {
+	lists []*asList
+	index map[asKey]*asList
+}
+
+func newASSet() *asSet {
+	return &asSet{index: make(map[asKey]*asList)}
+}
+
+// blockingList returns the list that must delay a newly posted request with
+// the given (ctx, tag), or nil. A regular or ANY_SOURCE request is delayed
+// by a list with the exact same key or by a same-context AnyTag list; an
+// AnyTag request is conservatively delayed by any same-context list.
+func (s *asSet) blockingList(ctx, tag int32) *asList {
+	if l := s.index[asKey{ctx, tag}]; l != nil {
+		return l
+	}
+	if tag != ch3.AnyTag {
+		if l := s.index[asKey{ctx, ch3.AnyTag}]; l != nil {
+			return l
+		}
+		return nil
+	}
+	for _, l := range s.lists {
+		if l.key.ctx == ctx {
+			return l
+		}
+	}
+	return nil
+}
+
+// addAny registers an ANY_SOURCE request: either it becomes the head of a
+// fresh per-tag list, or it queues behind the existing one.
+func (s *asSet) addAny(req *ch3.Request) {
+	ctx, _, tag := req.MatchTriple()
+	if l := s.blockingList(ctx, tag); l != nil {
+		l.queue = append(l.queue, req)
+		return
+	}
+	l := &asList{key: asKey{ctx, tag}, queue: []*ch3.Request{req}}
+	s.lists = append(s.lists, l)
+	s.index[l.key] = l
+}
+
+// defer_ queues a regular request behind the blocking list. The caller must
+// have checked blockingList first.
+func (s *asSet) defer_(l *asList, req *ch3.Request) {
+	l.queue = append(l.queue, req)
+}
+
+// remove deletes a list from the set.
+func (s *asSet) remove(l *asList) {
+	delete(s.index, l.key)
+	for i, x := range s.lists {
+		if x == l {
+			s.lists = append(s.lists[:i], s.lists[i+1:]...)
+			return
+		}
+	}
+}
+
+// dropRequest removes req from whatever list holds it (shared-memory match
+// of a queued — possibly head — ANY_SOURCE request, §3.2.2). It returns the
+// list and whether req was its head.
+func (s *asSet) dropRequest(req *ch3.Request) (*asList, bool) {
+	for _, l := range s.lists {
+		for i, q := range l.queue {
+			if q == req {
+				l.queue = append(l.queue[:i], l.queue[i+1:]...)
+				return l, i == 0
+			}
+		}
+	}
+	return nil, false
+}
+
+// popHead removes the completed head and returns the requests that become
+// postable: regular requests up to (not including) the next ANY_SOURCE
+// request, which becomes the new head ("it replaces the former request as
+// list head"). If the list empties it is removed from the set.
+func (s *asSet) popHead(l *asList) []*ch3.Request {
+	if len(l.queue) > 0 {
+		l.queue = l.queue[1:]
+	}
+	l.headPosted = false
+	var postable []*ch3.Request
+	for len(l.queue) > 0 {
+		_, src, _ := l.queue[0].MatchTriple()
+		if src == ch3.AnySource {
+			return postable // new head found
+		}
+		postable = append(postable, l.queue[0])
+		l.queue = l.queue[1:]
+	}
+	s.remove(l)
+	return postable
+}
+
+// drainAfterDrop handles the same transition after a non-head drop has
+// already removed the request: if the removed request was the head, the
+// remaining queue is re-examined like popHead does.
+func (s *asSet) drainAfterDrop(l *asList, wasHead bool) []*ch3.Request {
+	if !wasHead {
+		if len(l.queue) == 0 {
+			s.remove(l)
+		}
+		return nil
+	}
+	l.headPosted = false
+	var postable []*ch3.Request
+	for len(l.queue) > 0 {
+		_, src, _ := l.queue[0].MatchTriple()
+		if src == ch3.AnySource {
+			return postable
+		}
+		postable = append(postable, l.queue[0])
+		l.queue = l.queue[1:]
+	}
+	s.remove(l)
+	return postable
+}

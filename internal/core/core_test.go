@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ch3"
+)
+
+func TestTagCodecRoundTrip(t *testing.T) {
+	cases := []struct {
+		ctx int32
+		src int
+		tag int32
+	}{
+		{0, 0, 0}, {1, 5, 42}, {7, 65535, 1 << 30}, {100, 63, 999},
+	}
+	for _, c := range cases {
+		enc := encodeTag(c.ctx, c.src, c.tag)
+		ctx, src, tag := decodeTag(enc)
+		if ctx != c.ctx || src != c.src || tag != c.tag {
+			t.Errorf("roundtrip (%d,%d,%d) -> (%d,%d,%d)", c.ctx, c.src, c.tag, ctx, src, tag)
+		}
+	}
+}
+
+func TestPropertyTagCodec(t *testing.T) {
+	f := func(ctxRaw uint16, srcRaw uint16, tagRaw uint32) bool {
+		ctx := int32(ctxRaw)
+		src := int(srcRaw)
+		tag := int32(tagRaw & 0x7FFFFFFF)
+		c2, s2, t2 := decodeTag(encodeTag(ctx, src, tag))
+		return c2 == ctx && s2 == src && t2 == tag
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTagMaskExact(t *testing.T) {
+	tag, mask := recvTagMask(3, 7, 55)
+	if mask != maskFull {
+		t.Fatal("exact receive must use the full mask")
+	}
+	if tag != encodeTag(3, 7, 55) {
+		t.Fatal("exact receive tag mismatch")
+	}
+}
+
+func TestRecvTagMaskAnyTag(t *testing.T) {
+	tag, mask := recvTagMask(3, 7, ch3.AnyTag)
+	// Any MPI tag from (ctx 3, src 7) must match.
+	for _, mpiTag := range []int32{0, 1, 1 << 20} {
+		enc := encodeTag(3, 7, mpiTag)
+		if enc&mask != tag {
+			t.Errorf("AnyTag mask rejects tag %d", mpiTag)
+		}
+	}
+	// A different source must not match.
+	if encodeTag(3, 8, 0)&mask == tag {
+		t.Error("AnyTag mask accepts wrong source")
+	}
+	// A different context must not match.
+	if encodeTag(4, 7, 0)&mask == tag {
+		t.Error("AnyTag mask accepts wrong context")
+	}
+}
+
+func TestProbeTagMask(t *testing.T) {
+	tag, mask := probeTagMask(2, 9)
+	// Any source with (ctx 2, tag 9) matches.
+	for _, src := range []int{0, 3, 500} {
+		if encodeTag(2, src, 9)&mask != tag {
+			t.Errorf("probe mask rejects src %d", src)
+		}
+	}
+	if encodeTag(2, 0, 10)&mask == tag {
+		t.Error("probe mask accepts wrong tag")
+	}
+	// AnyTag probe: only ctx participates.
+	tag, mask = probeTagMask(2, ch3.AnyTag)
+	if encodeTag(2, 11, 12345)&mask != tag {
+		t.Error("AnyTag probe rejects valid message")
+	}
+	if encodeTag(3, 11, 12345)&mask == tag {
+		t.Error("AnyTag probe accepts wrong context")
+	}
+}
+
+// --- asSet tests -------------------------------------------------------------
+
+// newRecvForTest builds a detached receive request with the given triple.
+func newRecvForTest(ctx int32, src int, tag int32) *ch3.Request {
+	return ch3.NewRecvRequest(src, tag, ctx, nil)
+}
+
+func TestASSetLifecycle(t *testing.T) {
+	s := newASSet()
+
+	mkAny := func(tag int32) *ch3.Request {
+		return newRecvForTest(0, int(ch3.AnySource), tag)
+	}
+	mkReg := func(src int, tag int32) *ch3.Request {
+		return newRecvForTest(0, src, tag)
+	}
+
+	a1 := mkAny(5)
+	s.addAny(a1)
+	if len(s.lists) != 1 {
+		t.Fatalf("lists = %d", len(s.lists))
+	}
+	// A regular request with the same tag is blocked.
+	if s.blockingList(0, 5) == nil {
+		t.Fatal("regular recv with same tag should be blocked")
+	}
+	// A regular request with a different tag is not.
+	if s.blockingList(0, 6) != nil {
+		t.Fatal("different tag must not be blocked")
+	}
+	// Different context is not blocked.
+	if s.blockingList(1, 5) != nil {
+		t.Fatal("different ctx must not be blocked")
+	}
+
+	r1 := mkReg(2, 5)
+	s.defer_(s.blockingList(0, 5), r1)
+	a2 := mkAny(5)
+	s.addAny(a2) // queues behind
+	r2 := mkReg(3, 5)
+	s.defer_(s.blockingList(0, 5), r2)
+
+	// Pop the head: r1 becomes postable, a2 becomes the new head, r2 stays.
+	postable := s.popHead(s.index[asKey{0, 5}])
+	if len(postable) != 1 || postable[0] != r1 {
+		t.Fatalf("postable = %v", postable)
+	}
+	l := s.index[asKey{0, 5}]
+	if l == nil || l.queue[0] != a2 {
+		t.Fatal("a2 should be the new head")
+	}
+	// Pop again: r2 drains, list disappears.
+	postable = s.popHead(l)
+	if len(postable) != 1 || postable[0] != r2 {
+		t.Fatalf("postable = %v", postable)
+	}
+	if len(s.lists) != 0 || s.index[asKey{0, 5}] != nil {
+		t.Fatal("list should be removed when empty")
+	}
+}
+
+func TestASSetDropNonHead(t *testing.T) {
+	s := newASSet()
+	a1 := newRecvForTest(0, int(ch3.AnySource), 7)
+	a2 := newRecvForTest(0, int(ch3.AnySource), 7)
+	s.addAny(a1)
+	s.addAny(a2)
+	l, wasHead := s.dropRequest(a2)
+	if l == nil || wasHead {
+		t.Fatalf("drop a2: l=%v head=%v", l, wasHead)
+	}
+	if got := s.drainAfterDrop(l, wasHead); len(got) != 0 {
+		t.Fatalf("non-head drop must not release requests, got %v", got)
+	}
+	if len(s.lists) != 1 {
+		t.Fatal("list with remaining head must survive")
+	}
+	// Dropping the head drains and removes.
+	l, wasHead = s.dropRequest(a1)
+	if !wasHead {
+		t.Fatal("a1 was the head")
+	}
+	s.drainAfterDrop(l, wasHead)
+	if len(s.lists) != 0 {
+		t.Fatal("empty list must be removed")
+	}
+}
+
+func TestASSetAnyTagBlocksEverything(t *testing.T) {
+	s := newASSet()
+	s.addAny(newRecvForTest(0, int(ch3.AnySource), ch3.AnyTag))
+	if s.blockingList(0, 42) == nil {
+		t.Fatal("AnyTag AS list must block every tag in the context")
+	}
+	if s.blockingList(1, 42) != nil {
+		t.Fatal("AnyTag AS list must not block other contexts")
+	}
+	// And the converse: an AnyTag request is blocked by any same-ctx list.
+	s2 := newASSet()
+	s2.addAny(newRecvForTest(0, int(ch3.AnySource), 3))
+	if s2.blockingList(0, ch3.AnyTag) == nil {
+		t.Fatal("AnyTag post must be blocked by an existing same-ctx list")
+	}
+}
+
+func TestASSetDropUnknownRequest(t *testing.T) {
+	s := newASSet()
+	l, head := s.dropRequest(newRecvForTest(0, 1, 1))
+	if l != nil || head {
+		t.Fatal("dropping unknown request must be a no-op")
+	}
+}

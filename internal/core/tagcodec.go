@@ -1,0 +1,64 @@
+// Package core implements the paper's contribution (§3): the NewMadeleine
+// network module for MPICH2's Nemesis channel together with the CH3-level
+// modifications that bypass Nemesis for inter-node traffic, the ANY_SOURCE
+// pending-request lists that work around NewMadeleine's lack of request
+// cancellation, and the packet-style backends used to model the generic
+// Nemesis module and the baseline MPI stacks (MVAPICH2, Open MPI).
+package core
+
+import "repro/internal/ch3"
+
+// NewMadeleine tag layout: [ctx:16][src:16][mpi-tag:32]. MPI matching on
+// (context, source, tag) maps onto NewMadeleine's 64-bit tag + mask
+// matching, which is what lets CH3 delegate tag matching entirely (§3.1.1).
+const (
+	tagBits  = 32
+	srcBits  = 16
+	srcShift = tagBits
+	ctxShift = tagBits + srcBits
+
+	maskFull   = ^uint64(0)
+	maskTagFld = uint64(1)<<tagBits - 1
+	maskSrcFld = (uint64(1)<<srcBits - 1) << srcShift
+)
+
+// encodeTag packs an MPI matching triple into a NewMadeleine tag.
+func encodeTag(ctx int32, src int, tag int32) uint64 {
+	return uint64(uint16(ctx))<<ctxShift |
+		uint64(uint16(src))<<srcShift |
+		uint64(uint32(tag))
+}
+
+// recvTagMask builds the (tag, mask) pair for a receive with known source.
+// AnyTag clears the MPI-tag field from the mask.
+func recvTagMask(ctx int32, src int, tag int32) (uint64, uint64) {
+	if tag == ch3.AnyTag {
+		return encodeTag(ctx, src, 0) &^ maskTagFld, maskFull &^ maskTagFld
+	}
+	return encodeTag(ctx, src, tag), maskFull
+}
+
+// probeTagMask builds the (tag, mask) pair for an ANY_SOURCE probe: the
+// source field is wildcarded; AnyTag additionally wildcards the tag field.
+func probeTagMask(ctx int32, tag int32) (uint64, uint64) {
+	mask := maskFull &^ maskSrcFld
+	if tag == ch3.AnyTag {
+		mask &^= maskTagFld
+		return encodeTag(ctx, 0, 0) & mask, mask
+	}
+	return encodeTag(ctx, 0, tag) & mask, mask
+}
+
+// decodeTag splits a NewMadeleine tag back into the MPI triple.
+func decodeTag(t uint64) (ctx int32, src int, tag int32) {
+	return int32(uint16(t >> ctxShift)), int(uint16(t >> srcShift)), int32(uint32(t))
+}
+
+// Reserved tag space for the generic (packet-over-NewMadeleine) module:
+// bit 63 marks channel packets, bit 62 marks rendezvous payload streams.
+const (
+	chanTagBit = uint64(1) << 63
+	rdvTagBit  = uint64(1) << 62
+)
+
+func rdvTag(cookie uint64) uint64 { return rdvTagBit | cookie }

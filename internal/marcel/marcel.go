@@ -1,0 +1,60 @@
+// Package marcel models per-node CPU cores and thread scheduling in virtual
+// time. It is the analogue of the Marcel user-level thread scheduler of the
+// PM2 suite (§2.2.2): it knows how many cores a node has, which are busy, and
+// therefore whether an "idle core" is available for background communication
+// progress — the property PIOMan exploits to overlap communication with
+// computation.
+package marcel
+
+import (
+	"fmt"
+
+	"repro/internal/vtime"
+)
+
+// Node models the cores of one physical node. Threads acquire a core to
+// execute CPU work and release it when they block; acquisition is FIFO.
+type Node struct {
+	e     *vtime.Engine
+	name  string
+	cores int
+	sema  *vtime.Sema
+}
+
+// NewNode returns a node with the given core count.
+func NewNode(e *vtime.Engine, name string, cores int) *Node {
+	if cores <= 0 {
+		panic(fmt.Sprintf("marcel: node %s with %d cores", name, cores))
+	}
+	return &Node{e: e, name: name, cores: cores, sema: vtime.NewSema(e, name+": waiting for core", cores)}
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Cores returns the total core count.
+func (n *Node) Cores() int { return n.cores }
+
+// IdleCores reports how many cores are currently unoccupied.
+func (n *Node) IdleCores() int { return n.sema.Value() }
+
+// Acquire blocks p until a core is free, then occupies it.
+func (n *Node) Acquire(p *vtime.Proc) { n.sema.Acquire(p) }
+
+// TryAcquire occupies a core if one is free, without blocking.
+func (n *Node) TryAcquire() bool { return n.sema.TryAcquire() }
+
+// Release frees a core.
+func (n *Node) Release() { n.sema.Release() }
+
+// Compute occupies a core for d of virtual time. This is how simulated
+// application code "computes": the core is genuinely unavailable to other
+// threads (including PIOMan's progress thread) for the duration.
+func (n *Node) Compute(p *vtime.Proc, d vtime.Duration) {
+	if d <= 0 {
+		return
+	}
+	n.Acquire(p)
+	p.Sleep(d)
+	n.Release()
+}

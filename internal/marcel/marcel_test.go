@@ -1,0 +1,111 @@
+package marcel
+
+import (
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+func TestComputeOccupiesCore(t *testing.T) {
+	e := vtime.NewEngine()
+	n := NewNode(e, "n0", 1)
+	var aDone, bDone vtime.Time
+	e.Spawn("a", func(p *vtime.Proc) {
+		n.Compute(p, 100)
+		aDone = p.Now()
+	})
+	e.Spawn("b", func(p *vtime.Proc) {
+		n.Compute(p, 100)
+		bDone = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if aDone != 100 {
+		t.Fatalf("a done at %d, want 100", aDone)
+	}
+	if bDone != 200 {
+		t.Fatalf("b done at %d, want 200 (serialized on 1 core)", bDone)
+	}
+}
+
+func TestTwoCoresRunInParallel(t *testing.T) {
+	e := vtime.NewEngine()
+	n := NewNode(e, "n0", 2)
+	var aDone, bDone vtime.Time
+	e.Spawn("a", func(p *vtime.Proc) { n.Compute(p, 100); aDone = p.Now() })
+	e.Spawn("b", func(p *vtime.Proc) { n.Compute(p, 100); bDone = p.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if aDone != 100 || bDone != 100 {
+		t.Fatalf("a=%d b=%d, want both 100 (parallel)", aDone, bDone)
+	}
+}
+
+func TestIdleCores(t *testing.T) {
+	e := vtime.NewEngine()
+	n := NewNode(e, "n0", 4)
+	if n.IdleCores() != 4 {
+		t.Fatalf("idle = %d, want 4", n.IdleCores())
+	}
+	e.Spawn("a", func(p *vtime.Proc) {
+		n.Acquire(p)
+		if n.IdleCores() != 3 {
+			t.Errorf("idle = %d, want 3", n.IdleCores())
+		}
+		p.Sleep(10)
+		n.Release()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.IdleCores() != 4 {
+		t.Fatalf("idle = %d after release, want 4", n.IdleCores())
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	e := vtime.NewEngine()
+	n := NewNode(e, "n0", 1)
+	if !n.TryAcquire() {
+		t.Fatal("TryAcquire on idle node failed")
+	}
+	if n.TryAcquire() {
+		t.Fatal("TryAcquire on busy node succeeded")
+	}
+	n.Release()
+	if !n.TryAcquire() {
+		t.Fatal("TryAcquire after release failed")
+	}
+}
+
+func TestZeroComputeIsFree(t *testing.T) {
+	e := vtime.NewEngine()
+	n := NewNode(e, "n0", 1)
+	e.Spawn("a", func(p *vtime.Proc) {
+		n.Compute(p, 0)
+		if p.Now() != 0 {
+			t.Errorf("zero compute advanced time to %d", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0-core node")
+		}
+	}()
+	NewNode(vtime.NewEngine(), "bad", 0)
+}
+
+func TestMeta(t *testing.T) {
+	n := NewNode(vtime.NewEngine(), "node7", 8)
+	if n.Name() != "node7" || n.Cores() != 8 {
+		t.Fatalf("meta wrong: %s %d", n.Name(), n.Cores())
+	}
+}

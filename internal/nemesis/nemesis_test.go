@@ -1,0 +1,253 @@
+package nemesis
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/shmq"
+	"repro/internal/vtime"
+)
+
+func pair(t *testing.T, opt Options) (*vtime.Engine, *Endpoint, *Endpoint) {
+	t.Helper()
+	e := vtime.NewEngine()
+	a, err := NewEndpoint(e, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEndpoint(e, 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.ConnectLocal(b)
+	b.ConnectLocal(a)
+	return e, a, b
+}
+
+func TestFragmentDelivery(t *testing.T) {
+	e, a, b := pair(t, Options{})
+	var gotHdr shmq.Header
+	var gotPayload []byte
+	b.SetHandler(func(h shmq.Header, p []byte) vtime.Duration {
+		gotHdr = h
+		gotPayload = append([]byte(nil), p...)
+		return 0
+	})
+	e.At(0, func() {
+		cost, ok := a.TrySendFragment(1, shmq.Header{Tag: 5, MsgLen: 3}, []byte("abc"))
+		if !ok || cost <= 0 {
+			t.Errorf("send cost=%d ok=%v", cost, ok)
+		}
+	})
+	e.At(1000, func() {
+		n, cost := b.Poll()
+		if n != 1 {
+			t.Errorf("poll events = %d, want 1", n)
+		}
+		if cost <= 0 {
+			t.Error("poll cost should be positive")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotHdr.Src != 0 || gotHdr.Tag != 5 || string(gotPayload) != "abc" {
+		t.Fatalf("hdr=%+v payload=%q", gotHdr, gotPayload)
+	}
+}
+
+func TestCellRecycling(t *testing.T) {
+	e, a, b := pair(t, Options{NumCells: 2, CellPayload: 8})
+	b.SetHandler(func(shmq.Header, []byte) vtime.Duration { return 0 })
+	e.At(0, func() {
+		// Exhaust a's free queue.
+		if _, ok := a.TrySendFragment(1, shmq.Header{}, []byte("x")); !ok {
+			t.Error("first send failed")
+		}
+		if _, ok := a.TrySendFragment(1, shmq.Header{}, []byte("y")); !ok {
+			t.Error("second send failed")
+		}
+		if _, ok := a.TrySendFragment(1, shmq.Header{}, []byte("z")); ok {
+			t.Error("third send should stall (no free cells)")
+		}
+		if a.SendStall != 1 {
+			t.Errorf("SendStall = %d, want 1", a.SendStall)
+		}
+	})
+	e.At(1000, func() {
+		b.Poll() // recycles both cells to a
+		if _, ok := a.TrySendFragment(1, shmq.Header{}, []byte("z")); !ok {
+			t.Error("send after recycle failed")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotifyOnVisibility(t *testing.T) {
+	opt := Options{Visibility: 250}
+	e, a, b := pair(t, opt)
+	b.SetHandler(func(shmq.Header, []byte) vtime.Duration { return 0 })
+	var notifiedAt vtime.Time = -1
+	b.SetNotify(func() {
+		if notifiedAt < 0 {
+			notifiedAt = e.Now()
+		}
+	})
+	e.At(100, func() { a.TrySendFragment(1, shmq.Header{}, []byte("n")) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if notifiedAt != 350 {
+		t.Fatalf("notified at %d, want 350 (send+visibility)", notifiedAt)
+	}
+}
+
+func TestReleaseNotifiesOwnerForFlowControl(t *testing.T) {
+	e, a, b := pair(t, Options{NumCells: 1, CellPayload: 8})
+	b.SetHandler(func(shmq.Header, []byte) vtime.Duration { return 0 })
+	ownerNotified := 0
+	a.SetNotify(func() { ownerNotified++ })
+	e.At(0, func() { a.TrySendFragment(1, shmq.Header{}, []byte("a")) })
+	e.At(500, func() { b.Poll() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ownerNotified == 0 {
+		t.Fatal("cell release must notify owner (stalled senders retry)")
+	}
+}
+
+func TestCopyCostScalesWithSize(t *testing.T) {
+	e, a, b := pair(t, Options{MemBW: 1e9}) // 1 ns/byte
+	b.SetHandler(func(shmq.Header, []byte) vtime.Duration { return 0 })
+	var small, large vtime.Duration
+	e.At(0, func() {
+		small, _ = a.TrySendFragment(1, shmq.Header{}, make([]byte, 64))
+		large, _ = a.TrySendFragment(1, shmq.Header{}, make([]byte, 4096))
+	})
+	e.At(10, func() { b.Poll() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if large-small < 4000 {
+		t.Fatalf("copy cost small=%d large=%d; expected ~4032ns gap", small, large)
+	}
+}
+
+func TestHandlerCostPropagates(t *testing.T) {
+	e, a, b := pair(t, Options{})
+	b.SetHandler(func(shmq.Header, []byte) vtime.Duration { return 777 })
+	e.At(0, func() { a.TrySendFragment(1, shmq.Header{}, []byte("q")) })
+	e.At(10, func() {
+		_, cost := b.Poll()
+		if cost < 777 {
+			t.Errorf("poll cost %d does not include handler cost", cost)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPollEmptyIsCheap(t *testing.T) {
+	e, _, b := pair(t, Options{})
+	b.SetHandler(func(shmq.Header, []byte) vtime.Duration { return 0 })
+	e.At(0, func() {
+		n, cost := b.Poll()
+		if n != 0 || cost != 0 {
+			t.Errorf("empty poll = (%d, %d)", n, cost)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplePeersOneRecvQueue(t *testing.T) {
+	e := vtime.NewEngine()
+	var eps []*Endpoint
+	for i := 0; i < 3; i++ {
+		ep, err := NewEndpoint(e, i, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps = append(eps, ep)
+	}
+	for i := range eps {
+		for j := range eps {
+			if i != j {
+				eps[i].ConnectLocal(eps[j])
+			}
+		}
+	}
+	var srcs []int32
+	eps[2].SetHandler(func(h shmq.Header, p []byte) vtime.Duration {
+		srcs = append(srcs, h.Src)
+		return 0
+	})
+	e.At(0, func() {
+		eps[0].TrySendFragment(2, shmq.Header{}, []byte("from0"))
+		eps[1].TrySendFragment(2, shmq.Header{}, []byte("from1"))
+	})
+	e.At(10, func() {
+		n, _ := eps[2].Poll()
+		if n != 2 {
+			t.Errorf("single receive queue should yield both cells, got %d", n)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 2 || srcs[0] != 0 || srcs[1] != 1 {
+		t.Fatalf("sources = %v", srcs)
+	}
+}
+
+func TestPayloadIntegrityAcrossRecycle(t *testing.T) {
+	e, a, b := pair(t, Options{NumCells: 1, CellPayload: 16})
+	var got [][]byte
+	b.SetHandler(func(h shmq.Header, p []byte) vtime.Duration {
+		got = append(got, append([]byte(nil), p...))
+		return 0
+	})
+	e.At(0, func() { a.TrySendFragment(1, shmq.Header{}, []byte("first")) })
+	e.At(100, func() { b.Poll() })
+	e.At(200, func() { a.TrySendFragment(1, shmq.Header{}, []byte("second")) })
+	e.At(300, func() { b.Poll() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !bytes.Equal(got[0], []byte("first")) || !bytes.Equal(got[1], []byte("second")) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSelfConnectPanics(t *testing.T) {
+	e := vtime.NewEngine()
+	a, _ := NewEndpoint(e, 0, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.ConnectLocal(a)
+}
+
+func TestFreeCellsDiagnostic(t *testing.T) {
+	e, a, b := pair(t, Options{NumCells: 4, CellPayload: 8})
+	b.SetHandler(func(shmq.Header, []byte) vtime.Duration { return 0 })
+	if a.FreeCells() != 4 {
+		t.Fatalf("FreeCells = %d, want 4", a.FreeCells())
+	}
+	e.At(0, func() {
+		a.TrySendFragment(1, shmq.Header{}, []byte("x"))
+		if a.FreeCells() != 3 {
+			t.Errorf("FreeCells = %d, want 3", a.FreeCells())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

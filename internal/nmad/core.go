@@ -1,0 +1,548 @@
+package nmad
+
+import (
+	"fmt"
+
+	"repro/internal/simnet"
+	"repro/internal/vtime"
+)
+
+// Options configures a Core.
+type Options struct {
+	// Strategy selects the packet scheduling strategy.
+	Strategy StrategyKind
+	// RdvThreshold is the eager/rendezvous switch point in bytes.
+	RdvThreshold int
+	// AggregMax caps the payload of an aggregated packet wrapper.
+	AggregMax int
+	// MinSplit is the smallest rendezvous chunk worth placing on an extra
+	// rail; below it the split strategy falls back to the fastest rail.
+	MinSplit int
+	// Rails are the network rails this process can use, in rail-id order.
+	Rails []*simnet.Rail
+	// MemBW is the node's memory copy bandwidth (bytes/sec) for eager and
+	// unexpected-message copies.
+	MemBW float64
+	// PwParseCost is the host cost to parse one arrived packet wrapper.
+	PwParseCost vtime.Duration
+	// MatchCost is the host cost of one tag-matching step.
+	MatchCost vtime.Duration
+	// PostTask defers host work (submission) to the progress engine.
+	PostTask func(cost vtime.Duration, run func())
+	// Notify signals the progress engine that events are pending.
+	Notify func()
+}
+
+// withDefaults fills zero fields with the library defaults.
+func (o Options) withDefaults() Options {
+	if o.RdvThreshold == 0 {
+		o.RdvThreshold = 32 << 10
+	}
+	if o.AggregMax == 0 {
+		o.AggregMax = 32 << 10
+	}
+	if o.MinSplit == 0 {
+		o.MinSplit = 4 << 10
+	}
+	if o.MemBW == 0 {
+		o.MemBW = 4e9
+	}
+	if o.PwParseCost == 0 {
+		o.PwParseCost = 100
+	}
+	if o.MatchCost == 0 {
+		o.MatchCost = 40
+	}
+	if o.PostTask == nil {
+		panic("nmad: Options.PostTask is required")
+	}
+	if o.Notify == nil {
+		o.Notify = func() {}
+	}
+	return o
+}
+
+// Gate is a connection to one peer process (§2.2: strategies operate on the
+// set of messages sharing the same destination, i.e. per gate).
+type Gate struct {
+	owner    *Core
+	peer     *Core
+	PeerRank int
+	peerNode int
+
+	outlist   []*Request // packs awaiting strategy scheduling, FIFO
+	nextSeq   uint32
+	idleArmed bool
+}
+
+// unexp is an arrived-but-unmatched message (eager payload or RTS).
+type unexp struct {
+	from   *Gate
+	kind   EntryKind // EntryEager or EntryRTS
+	tag    uint64
+	msgLen int
+	data   []byte // copied eager payload
+	packID uint64 // RTS only
+}
+
+// rdvRecv tracks an in-progress rendezvous reception.
+type rdvRecv struct {
+	req       *Request
+	remaining int
+}
+
+type inPw struct {
+	pw      *Packet
+	consume vtime.Duration
+}
+
+// Core is one process's NewMadeleine instance.
+type Core struct {
+	e    *vtime.Engine
+	rank int
+	node int
+	opt  Options
+
+	strat Strategy
+	gates map[int]*Gate
+
+	inbox      []inPw
+	posted     []*Request
+	unexpected []*unexp
+
+	nextPackID uint64
+	nextRecvID uint64
+	sendRdv    map[uint64]*Request
+	recvRdv    map[uint64]*rdvRecv
+
+	kicked []*Gate
+
+	// owed accumulates costs incurred outside Poll (e.g. matching a posted
+	// receive against the unexpected store); the next Poll charges them.
+	owed vtime.Duration
+
+	// Stats.
+	PwsSent       int64
+	PwsRecv       int64
+	EntriesSent   int64
+	Aggregated    int64 // entries that shared a pw with another entry
+	UnexpectedHit int64
+	RdvStarted    int64
+}
+
+// New creates a Core for the process `rank` living on cluster node `node`.
+func New(e *vtime.Engine, rank, node int, opt Options) *Core {
+	c := &Core{
+		e:       e,
+		rank:    rank,
+		node:    node,
+		opt:     opt.withDefaults(),
+		gates:   make(map[int]*Gate),
+		sendRdv: make(map[uint64]*Request),
+		recvRdv: make(map[uint64]*rdvRecv),
+	}
+	c.strat = newStrategy(c.opt.Strategy)
+	return c
+}
+
+// Rank returns the process rank this core belongs to.
+func (c *Core) Rank() int { return c.rank }
+
+// Strategy returns the active strategy's name.
+func (c *Core) Strategy() string { return c.strat.Name() }
+
+// Connect establishes (or returns) the gate toward peer.
+func (c *Core) Connect(peer *Core) *Gate {
+	if g, ok := c.gates[peer.rank]; ok {
+		return g
+	}
+	if peer == c {
+		panic("nmad: connecting a gate to self")
+	}
+	g := &Gate{owner: c, peer: peer, PeerRank: peer.rank, peerNode: peer.node}
+	c.gates[peer.rank] = g
+	return g
+}
+
+// Gate returns the gate to rank, or nil if not connected.
+func (c *Core) Gate(rank int) *Gate { return c.gates[rank] }
+
+// ISend posts a send of data with the given tag toward gate g. Small
+// messages take the eager path; messages above RdvThreshold use the internal
+// rendezvous protocol. The request is enqueued on the gate's outlist and
+// actual submission is decided by the strategy at the next progress point —
+// this is the "uncoupled network request submission" of §2.2.
+func (c *Core) ISend(g *Gate, tag uint64, data []byte) *Request {
+	r := &Request{kind: reqSend, core: c, gate: g, tag: tag, data: data, seq: g.nextSeq}
+	g.nextSeq++
+	if len(data) > c.opt.RdvThreshold {
+		r.rdv = true
+		c.nextPackID++
+		r.id = c.nextPackID
+		c.sendRdv[r.id] = r
+	}
+	g.outlist = append(g.outlist, r)
+	c.kick(g)
+	return r
+}
+
+// IRecv posts a receive. A nil gate means "any gate" (any source); mask
+// selects which tag bits participate in matching (all-ones for exact).
+// If a matching unexpected message has already arrived it is consumed
+// immediately. There is no way to cancel the returned request.
+func (c *Core) IRecv(g *Gate, tag, mask uint64, buf []byte) *Request {
+	r := &Request{
+		kind: reqRecv, core: c, gate: g, anyGate: g == nil,
+		tag: tag & mask, mask: mask, buf: buf,
+	}
+	for i, u := range c.unexpected {
+		if c.matchesUnexp(r, u) {
+			c.unexpected = append(c.unexpected[:i], c.unexpected[i+1:]...)
+			c.UnexpectedHit++
+			c.consumeUnexpected(r, u)
+			return r
+		}
+	}
+	c.posted = append(c.posted, r)
+	return r
+}
+
+// IProbe checks whether an unexpected message matching (tag, mask) has
+// arrived, without consuming it. It returns the gate it arrived on. This is
+// the probe primitive the MPICH2 module polls for ANY_SOURCE handling
+// (§3.2.2): a NewMadeleine request is only created once a matching message
+// is known to sit in NewMadeleine's buffers, so it completes shortly after
+// posting and never needs cancellation.
+func (c *Core) IProbe(tag, mask uint64) (*Gate, bool) {
+	for _, u := range c.unexpected {
+		if u.tag&mask == tag&mask {
+			return u.from, true
+		}
+	}
+	return nil, false
+}
+
+// Owe adds host cost to be charged at the next Poll. Completion callbacks
+// (which cannot sleep) use it to account for upper-layer per-message costs,
+// e.g. the generic-interface overhead of the MPICH2 module (§4.1.1).
+func (c *Core) Owe(d vtime.Duration) {
+	if d > 0 {
+		c.owed += d
+	}
+}
+
+// PostedRecvs reports the number of pending posted receive requests.
+func (c *Core) PostedRecvs() int { return len(c.posted) }
+
+// UnexpectedCount reports the number of arrived-but-unmatched messages.
+func (c *Core) UnexpectedCount() int { return len(c.unexpected) }
+
+func (c *Core) matchesUnexp(r *Request, u *unexp) bool {
+	if !r.anyGate && r.gate != u.from {
+		return false
+	}
+	return u.tag&r.mask == r.tag
+}
+
+func (c *Core) matchPosted(g *Gate, tag uint64) *Request {
+	for i, r := range c.posted {
+		if !r.anyGate && r.gate != g {
+			continue
+		}
+		if tag&r.mask == r.tag {
+			c.posted = append(c.posted[:i], c.posted[i+1:]...)
+			return r
+		}
+	}
+	return nil
+}
+
+// consumeUnexpected completes (or advances) r using stored message u.
+func (c *Core) consumeUnexpected(r *Request, u *unexp) {
+	switch u.kind {
+	case EntryEager:
+		n := copy(r.buf, u.data)
+		r.status = Status{Peer: u.from.PeerRank, Tag: u.tag, Len: n, Truncated: n < u.msgLen}
+		// The copy-out of a just-buffered message reads cache-hot data; the
+		// dominant cost (the copy *into* the unexpected store) was already
+		// charged at arrival. This keeps the ANY_SOURCE latency gap
+		// constant in message size, as Fig. 4(a) reports.
+		c.owed += copyCost(n, c.opt.MemBW) / 8
+		r.complete()
+	case EntryRTS:
+		c.startRdvRecv(r, u.from, u.tag, u.msgLen, u.packID)
+	default:
+		panic(fmt.Sprintf("nmad: unexpected store holds %v", u.kind))
+	}
+}
+
+// startRdvRecv registers reception state and sends the CTS.
+func (c *Core) startRdvRecv(r *Request, g *Gate, tag uint64, msgLen int, packID uint64) {
+	c.nextRecvID++
+	id := c.nextRecvID
+	n := msgLen
+	if n > len(r.buf) {
+		n = len(r.buf)
+	}
+	r.status = Status{Peer: g.PeerRank, Tag: tag, Len: n, Truncated: n < msgLen}
+	c.recvRdv[id] = &rdvRecv{req: r, remaining: n}
+	c.RdvStarted++
+	if n == 0 {
+		delete(c.recvRdv, id)
+		r.complete()
+		return
+	}
+	// CTS travels back over the same gate (it connects us to the sender).
+	c.sendControl(g, Entry{Kind: EntryCTS, Tag: tag, PackID: packID, RecvID: id, MsgLen: n})
+}
+
+// sendControl submits a single control entry immediately on the
+// lowest-latency rail, bypassing the strategy outlist (control plane).
+func (c *Core) sendControl(g *Gate, en Entry) {
+	pw := &Packet{From: c.rank, To: g.PeerRank, Entries: []Entry{en}}
+	c.submit(g, pw, c.bestRail(0), nil, false)
+}
+
+// bestRail returns the index of the rail with the lowest estimated transfer
+// time for size bytes (the sampling-driven choice of §2.2).
+func (c *Core) bestRail(size int) int {
+	best, bestT := 0, vtime.Duration(1<<62)
+	for i, r := range c.opt.Rails {
+		if t := r.Params.EstimateXfer(size); t < bestT {
+			best, bestT = i, t
+		}
+	}
+	return best
+}
+
+// kick marks g as needing strategy attention and defers a scheduling pass
+// to the progress engine.
+func (c *Core) kick(g *Gate) {
+	for _, k := range c.kicked {
+		if k == g {
+			return
+		}
+	}
+	c.kicked = append(c.kicked, g)
+	c.opt.PostTask(0, func() { c.runStrategies() })
+}
+
+// kickFromEngine re-arms scheduling from an engine-context event (rail
+// turned idle) and notifies the progress engine.
+func (c *Core) kickFromEngine(g *Gate) {
+	g.idleArmed = false
+	found := false
+	for _, k := range c.kicked {
+		if k == g {
+			found = true
+		}
+	}
+	if !found {
+		c.kicked = append(c.kicked, g)
+	}
+	c.opt.Notify()
+}
+
+// runStrategies drains the kicked set. Runs in progress context.
+func (c *Core) runStrategies() {
+	for len(c.kicked) > 0 {
+		g := c.kicked[0]
+		c.kicked = c.kicked[1:]
+		c.strat.Schedule(c, g)
+	}
+}
+
+// armIdleKick schedules a strategy re-run for when the rail's transmit side
+// drains (used by the aggregation strategy to accumulate packets while the
+// NIC is busy, §2.2).
+func (c *Core) armIdleKick(g *Gate, rail int) {
+	if g.idleArmed {
+		return
+	}
+	g.idleArmed = true
+	at := c.opt.Rails[rail].TxIdleAt(c.node)
+	c.e.At(at, func() { c.kickFromEngine(g) })
+}
+
+// submit sends pw over rail railIdx; sends (may be nil) are the pack
+// requests whose buffers become reusable once submission completes. The
+// host submission cost is charged to whichever progress context executes
+// the deferred task (application thread or PIOMan thread) — this is what
+// makes submission offload observable (§2.2.3, Fig. 7a).
+func (c *Core) submit(g *Gate, pw *Packet, railIdx int, sends []*Request, cachedReg bool) {
+	rail := c.opt.Rails[railIdx]
+	size := pw.WireSize()
+	cost := rail.Params.SubmitEager(size)
+	_ = cachedReg
+	peer := g.peer
+	from, to := c.node, g.peerNode
+	c.opt.PostTask(cost, func() {
+		c.PwsSent++
+		c.EntriesSent += int64(len(pw.Entries))
+		if len(pw.Entries) > 1 {
+			c.Aggregated += int64(len(pw.Entries))
+		}
+		rail.Transfer(from, to, size, pw, peer.deliverPw)
+		// Eager sends complete at *local* completion: when the NIC has
+		// drained the packet onto the wire, not at submission. This is what
+		// a send-completion event from MX/Verbs signals, and what makes
+		// overlap measurable (Fig. 7a).
+		var eager []*Request
+		for _, s := range sends {
+			if s.rdv {
+				continue // rendezvous sends complete when all data is out
+			}
+			eager = append(eager, s)
+		}
+		if len(eager) > 0 {
+			c.e.At(rail.TxIdleAt(from), func() {
+				for _, s := range eager {
+					s.complete()
+				}
+				c.opt.Notify()
+			})
+		}
+	})
+}
+
+// deliverPw runs in engine context when a packet wrapper reaches this
+// process's NIC.
+func (c *Core) deliverPw(d simnet.Delivery) {
+	c.inbox = append(c.inbox, inPw{pw: d.Payload.(*Packet), consume: d.ConsumeCost})
+	c.opt.Notify()
+}
+
+// HasPending reports whether any inbox entries or kicked gates await Poll.
+func (c *Core) HasPending() bool { return len(c.inbox) > 0 || len(c.kicked) > 0 || c.owed > 0 }
+
+// SourceName implements pioman.Source.
+func (c *Core) SourceName() string { return fmt.Sprintf("nmad[%d]", c.rank) }
+
+// Poll implements pioman.Source: it parses arrived packet wrappers, performs
+// tag matching, advances the rendezvous state machines and re-runs kicked
+// strategies. It returns the number of wrapper-level events handled and the
+// host cost incurred.
+func (c *Core) Poll() (int, vtime.Duration) {
+	events := 0
+	cost := c.owed
+	c.owed = 0
+	c.runStrategies()
+	for len(c.inbox) > 0 {
+		in := c.inbox[0]
+		c.inbox = c.inbox[1:]
+		events++
+		c.PwsRecv++
+		cost += in.consume + c.opt.PwParseCost
+		for _, en := range in.pw.Entries {
+			cost += c.handleEntry(in.pw.From, en)
+		}
+	}
+	// Completion callbacks run by handleEntry may have accrued more owed
+	// cost (e.g. the module's generic-interface overhead); flush it into
+	// this poll so a follow-up sweep does not treat it as a fresh event
+	// (which would double-charge the progress engine's sync overhead).
+	cost += c.owed
+	c.owed = 0
+	if cost > 0 && events == 0 {
+		events = 1 // owed costs must be charged even without new arrivals
+	}
+	return events, cost
+}
+
+// handleEntry dispatches one arrived entry; returns its host cost.
+func (c *Core) handleEntry(fromRank int, en Entry) vtime.Duration {
+	g := c.gates[fromRank]
+	if g == nil {
+		panic(fmt.Sprintf("nmad[%d]: entry from unconnected rank %d", c.rank, fromRank))
+	}
+	cost := c.opt.MatchCost
+	switch en.Kind {
+	case EntryEager:
+		if r := c.matchPosted(g, en.Tag); r != nil {
+			n := copy(r.buf, en.Data)
+			r.status = Status{Peer: fromRank, Tag: en.Tag, Len: n, Truncated: n < en.MsgLen}
+			cost += copyCost(n, c.opt.MemBW)
+			r.complete()
+		} else {
+			// Copy into NewMadeleine's buffers; delivered on a later IRecv.
+			data := make([]byte, len(en.Data))
+			copy(data, en.Data)
+			c.unexpected = append(c.unexpected, &unexp{
+				from: g, kind: EntryEager, tag: en.Tag, msgLen: en.MsgLen, data: data,
+			})
+			cost += copyCost(len(data), c.opt.MemBW)
+		}
+	case EntryRTS:
+		if r := c.matchPosted(g, en.Tag); r != nil {
+			c.startRdvRecv(r, g, en.Tag, en.MsgLen, en.PackID)
+		} else {
+			c.unexpected = append(c.unexpected, &unexp{
+				from: g, kind: EntryRTS, tag: en.Tag, msgLen: en.MsgLen, packID: en.PackID,
+			})
+		}
+	case EntryCTS:
+		r := c.sendRdv[en.PackID]
+		if r == nil {
+			panic(fmt.Sprintf("nmad[%d]: CTS for unknown pack %d", c.rank, en.PackID))
+		}
+		delete(c.sendRdv, en.PackID)
+		c.sendRdvData(r, en.RecvID, en.MsgLen)
+	case EntryData:
+		st := c.recvRdv[en.RecvID]
+		if st == nil {
+			panic(fmt.Sprintf("nmad[%d]: data for unknown recv %d", c.rank, en.RecvID))
+		}
+		copy(st.req.buf[en.Offset:], en.Data)
+		st.remaining -= len(en.Data)
+		if st.remaining <= 0 {
+			delete(c.recvRdv, en.RecvID)
+			st.req.complete()
+		}
+	}
+	return cost
+}
+
+// sendRdvData splits the granted bytes across rails per the strategy and
+// submits the data chunks. grant is the number of bytes the receiver can
+// accept (its buffer may be shorter than the message).
+func (c *Core) sendRdvData(r *Request, recvID uint64, grant int) {
+	data := r.data[:grant]
+	shares := c.strat.SplitRdv(c, len(data))
+	outstanding := len(shares)
+	for _, sh := range shares {
+		chunk := data[sh.Offset : sh.Offset+sh.Len]
+		en := Entry{Kind: EntryData, Tag: r.tag, RecvID: recvID, Offset: sh.Offset,
+			MsgLen: len(data), Data: chunk}
+		pw := &Packet{From: c.rank, To: r.gate.PeerRank, Entries: []Entry{en}}
+		rail := c.opt.Rails[sh.Rail]
+		cached := rail.Params.RegCache
+		last := r
+		c.submitRdvChunk(r.gate, pw, sh.Rail, cached, func() {
+			outstanding--
+			if outstanding == 0 {
+				last.complete()
+			}
+		})
+	}
+	if len(shares) == 0 { // zero-byte grant
+		r.complete()
+	}
+}
+
+func (c *Core) submitRdvChunk(g *Gate, pw *Packet, railIdx int, cachedReg bool, onSubmitted func()) {
+	rail := c.opt.Rails[railIdx]
+	size := pw.WireSize()
+	cost := rail.Params.SubmitRdv(size, cachedReg)
+	peer := g.peer
+	from, to := c.node, g.peerNode
+	c.opt.PostTask(cost, func() {
+		c.PwsSent++
+		c.EntriesSent++
+		rail.Transfer(from, to, size, pw, peer.deliverPw)
+		done := onSubmitted
+		c.e.At(rail.TxIdleAt(from), func() {
+			done()
+			c.opt.Notify()
+		})
+	})
+}

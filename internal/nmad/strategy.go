@@ -1,0 +1,297 @@
+package nmad
+
+import (
+	"fmt"
+
+	"repro/internal/vtime"
+)
+
+// StrategyKind selects a packet scheduling strategy.
+type StrategyKind int
+
+const (
+	// StratDefault submits every pack immediately as its own packet wrapper
+	// on the rail with the best estimated transfer time for its size.
+	StratDefault StrategyKind = iota
+	// StratAggreg behaves like StratDefault on an idle NIC but, when the
+	// NIC is busy, accumulates pending packs and submits them as a single
+	// aggregated packet wrapper once the NIC drains (§2.2: "when a network
+	// becomes idle, it has the possibility to apply optimizations on the
+	// accumulated communication requests").
+	StratAggreg
+	// StratSplitBalance adds multirail distribution: small messages go to
+	// the lowest-latency rail, large rendezvous payloads are split across
+	// all rails with a sampling-derived ratio so that every rail finishes
+	// at the same time (§2.2, [4]).
+	StratSplitBalance
+	// StratSplitStatic is the naive multirail baseline: rendezvous payloads
+	// are split in equal shares regardless of rail performance (the
+	// ablation foil for the sampling-derived ratio).
+	StratSplitStatic
+)
+
+func (k StrategyKind) String() string {
+	switch k {
+	case StratDefault:
+		return "default"
+	case StratAggreg:
+		return "aggreg"
+	case StratSplitBalance:
+		return "split_balance"
+	case StratSplitStatic:
+		return "split_static"
+	}
+	return fmt.Sprintf("strategy(%d)", int(k))
+}
+
+// Share is one rail's portion of a split rendezvous payload.
+type Share struct {
+	Rail   int
+	Offset int
+	Len    int
+}
+
+// Strategy decides how packs on a gate's outlist become wire packets and how
+// rendezvous payloads are distributed over rails.
+type Strategy interface {
+	Name() string
+	// Schedule consumes packs from g's outlist and submits packet wrappers.
+	// Runs in progress context.
+	Schedule(c *Core, g *Gate)
+	// SplitRdv partitions size bytes of rendezvous payload into rail shares.
+	SplitRdv(c *Core, size int) []Share
+}
+
+func newStrategy(k StrategyKind) Strategy {
+	switch k {
+	case StratDefault:
+		return stratDefault{}
+	case StratAggreg:
+		return stratAggreg{}
+	case StratSplitBalance:
+		return stratSplit{}
+	case StratSplitStatic:
+		return stratSplitStatic{}
+	default:
+		panic(fmt.Sprintf("nmad: unknown strategy %d", k))
+	}
+}
+
+// packEntry converts a send pack into its wire entry (eager data or RTS).
+func packEntry(c *Core, r *Request) Entry {
+	if r.rdv {
+		return Entry{Kind: EntryRTS, Tag: r.tag, Seq: r.seq, MsgLen: len(r.data), PackID: r.id}
+	}
+	return Entry{Kind: EntryEager, Tag: r.tag, Seq: r.seq, MsgLen: len(r.data), Data: r.data}
+}
+
+// ---- strat_default -------------------------------------------------------
+
+type stratDefault struct{}
+
+func (stratDefault) Name() string { return "default" }
+
+func (stratDefault) Schedule(c *Core, g *Gate) {
+	for len(g.outlist) > 0 {
+		r := g.outlist[0]
+		g.outlist = g.outlist[1:]
+		pw := &Packet{From: c.rank, To: g.PeerRank, Entries: []Entry{packEntry(c, r)}}
+		c.submit(g, pw, c.bestRail(len(r.data)), []*Request{r}, false)
+	}
+}
+
+func (stratDefault) SplitRdv(c *Core, size int) []Share {
+	return []Share{{Rail: c.bestRail(size), Offset: 0, Len: size}}
+}
+
+// ---- strat_aggreg --------------------------------------------------------
+
+type stratAggreg struct{}
+
+func (stratAggreg) Name() string { return "aggreg" }
+
+func (stratAggreg) Schedule(c *Core, g *Gate) {
+	for len(g.outlist) > 0 {
+		rail := c.bestRail(len(g.outlist[0].data))
+		if c.opt.Rails[rail].Busy(c.node) {
+			// NIC busy: keep the window of packets and revisit when idle.
+			c.armIdleKick(g, rail)
+			return
+		}
+		// NIC idle: submit the head pack, aggregating as many queued small
+		// packs as fit under AggregMax into the same packet wrapper.
+		var entries []Entry
+		var sends []*Request
+		payload := 0
+		for len(g.outlist) > 0 {
+			r := g.outlist[0]
+			sz := len(r.data)
+			if r.rdv {
+				sz = 0 // RTS entries are header-only
+			}
+			if len(entries) > 0 && payload+sz > c.opt.AggregMax {
+				break
+			}
+			g.outlist = g.outlist[1:]
+			entries = append(entries, packEntry(c, r))
+			sends = append(sends, r)
+			payload += sz
+		}
+		pw := &Packet{From: c.rank, To: g.PeerRank, Entries: entries}
+		c.submit(g, pw, rail, sends, false)
+	}
+}
+
+func (stratAggreg) SplitRdv(c *Core, size int) []Share {
+	return stratDefault{}.SplitRdv(c, size)
+}
+
+// ---- strat_split_balance -------------------------------------------------
+
+type stratSplit struct{}
+
+func (stratSplit) Name() string { return "split_balance" }
+
+// Schedule: control and eager traffic behaves like the aggregation strategy
+// (fastest rail, aggregate under pressure).
+func (stratSplit) Schedule(c *Core, g *Gate) { stratAggreg{}.Schedule(c, g) }
+
+// SplitRdv solves the water-filling problem min over splits of
+// max_i(L_i + s_i/B_i) using the rails' sampling estimates: find t* with
+// sum_i max(0, (t*-L_i)*B_i) = size, then s_i = (t*-L_i)*B_i. Rails whose
+// share falls below MinSplit are dropped and the remainder recomputed, so
+// small messages naturally collapse onto the fastest rail.
+func (stratSplit) SplitRdv(c *Core, size int) []Share {
+	if size <= 0 {
+		return nil
+	}
+	active := make([]int, len(c.opt.Rails))
+	for i := range active {
+		active[i] = i
+	}
+	for {
+		shares := waterfill(c, active, size)
+		// Drop rails with shares below MinSplit (but always keep one).
+		kept := active[:0]
+		for i, s := range shares {
+			if s >= c.opt.MinSplit || len(active) == 1 {
+				kept = append(kept, active[i])
+			}
+		}
+		if len(kept) == 0 {
+			kept = append(kept, c.bestRail(size))
+		}
+		if len(kept) == len(active) {
+			return buildShares(active, shares, size)
+		}
+		active = kept
+		if len(active) == 1 {
+			return []Share{{Rail: active[0], Offset: 0, Len: size}}
+		}
+	}
+}
+
+// ---- strat_split_static ----------------------------------------------------
+
+type stratSplitStatic struct{}
+
+func (stratSplitStatic) Name() string { return "split_static" }
+
+func (stratSplitStatic) Schedule(c *Core, g *Gate) { stratAggreg{}.Schedule(c, g) }
+
+func (stratSplitStatic) SplitRdv(c *Core, size int) []Share {
+	n := len(c.opt.Rails)
+	if size <= 0 {
+		return nil
+	}
+	if n == 1 || size < n*c.opt.MinSplit {
+		return []Share{{Rail: c.bestRail(size), Offset: 0, Len: size}}
+	}
+	per := size / n
+	var out []Share
+	off := 0
+	for i := 0; i < n; i++ {
+		l := per
+		if i == n-1 {
+			l = size - off
+		}
+		out = append(out, Share{Rail: i, Offset: off, Len: l})
+		off += l
+	}
+	return out
+}
+
+// waterfill returns per-rail byte counts (aligned with active) equalizing
+// completion times.
+func waterfill(c *Core, active []int, size int) []int {
+	// Solve sum_i max(0,(t-L_i))*B_i = size for t by accumulating rails in
+	// latency order analytically.
+	type rl struct {
+		lat vtime.Duration
+		bw  float64
+		idx int // position in active
+	}
+	rails := make([]rl, len(active))
+	for i, a := range active {
+		p := c.opt.Rails[a].Params
+		rails[i] = rl{lat: p.Latency, bw: p.BytesPerSec, idx: i}
+	}
+	// Insertion sort by latency (tiny N).
+	for i := 1; i < len(rails); i++ {
+		for j := i; j > 0 && rails[j].lat < rails[j-1].lat; j-- {
+			rails[j], rails[j-1] = rails[j-1], rails[j]
+		}
+	}
+	shares := make([]int, len(active))
+	remaining := float64(size)
+	// Try using the first k rails for k = len..1: compute t and check that
+	// t >= L_k for all used rails.
+	for k := len(rails); k >= 1; k-- {
+		sumB := 0.0
+		sumLB := 0.0
+		for i := 0; i < k; i++ {
+			sumB += rails[i].bw
+			sumLB += rails[i].lat.Seconds() * rails[i].bw
+		}
+		t := (remaining + sumLB) / sumB // seconds
+		if k > 1 && t < rails[k-1].lat.Seconds() {
+			continue // slowest-started rail would get negative bytes
+		}
+		total := 0
+		for i := 0; i < k; i++ {
+			s := int((t - rails[i].lat.Seconds()) * rails[i].bw)
+			if s < 0 {
+				s = 0
+			}
+			shares[rails[i].idx] = s
+			total += s
+		}
+		// Fix rounding drift on the fastest rail.
+		shares[rails[0].idx] += size - total
+		break
+	}
+	return shares
+}
+
+func buildShares(active []int, sizes []int, total int) []Share {
+	var out []Share
+	off := 0
+	for i, a := range active {
+		if sizes[i] <= 0 {
+			continue
+		}
+		n := sizes[i]
+		if off+n > total {
+			n = total - off
+		}
+		if n <= 0 {
+			continue
+		}
+		out = append(out, Share{Rail: a, Offset: off, Len: n})
+		off += n
+	}
+	if off < total && len(out) > 0 {
+		out[len(out)-1].Len += total - off
+	}
+	return out
+}

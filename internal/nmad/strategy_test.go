@@ -1,0 +1,247 @@
+package nmad
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/simnet"
+	"repro/internal/vtime"
+)
+
+func TestStaticSplitEqualShares(t *testing.T) {
+	ev := newEnv(t, 2, StratSplitStatic, ibRail(), mxRail())
+	shares := stratSplitStatic{}.SplitRdv(ev.cores[0], 1<<20)
+	if len(shares) != 2 {
+		t.Fatalf("want 2 shares, got %v", shares)
+	}
+	if shares[0].Len != shares[1].Len && shares[0].Len != shares[1].Len-1 {
+		// 1MB/2 exactly; allow remainder on last rail.
+		if shares[0].Len+shares[1].Len != 1<<20 {
+			t.Fatalf("static split not conserving: %v", shares)
+		}
+	}
+	diff := shares[0].Len - shares[1].Len
+	if diff < -1 || diff > 1 {
+		t.Fatalf("static split not 50/50: %v", shares)
+	}
+}
+
+func TestStaticSplitSmallFallsBack(t *testing.T) {
+	ev := newEnv(t, 2, StratSplitStatic, ibRail(), mxRail())
+	shares := stratSplitStatic{}.SplitRdv(ev.cores[0], 6000) // < 2*MinSplit
+	if len(shares) != 1 {
+		t.Fatalf("small payload must use one rail: %v", shares)
+	}
+}
+
+func TestStaticSplitTransferCorrect(t *testing.T) {
+	ev := newEnv(t, 2, StratSplitStatic, ibRail(), mxRail())
+	msg := make([]byte, 1<<20)
+	for i := range msg {
+		msg[i] = byte(i >> 4)
+	}
+	got := make([]byte, len(msg))
+	ev.run(t, func(rank int, p *vtime.Proc) {
+		if rank == 0 {
+			ev.wait(0, p, ev.cores[0].ISend(ev.cores[0].Gate(1), 3, msg))
+		} else {
+			ev.wait(1, p, ev.cores[1].IRecv(ev.cores[1].Gate(0), 3, ^uint64(0), got))
+		}
+	})
+	if !bytes.Equal(got, msg) {
+		t.Fatal("static split corrupted payload")
+	}
+	// Both rails carried close to half the bytes.
+	ib, mx := ev.net.Rail(0).BytesSent, ev.net.Rail(1).BytesSent
+	if ib < 400<<10 || mx < 400<<10 {
+		t.Fatalf("static split unbalanced: ib=%d mx=%d", ib, mx)
+	}
+}
+
+func TestAdaptiveBeatsStaticOnAsymmetricRails(t *testing.T) {
+	slow := mxRail()
+	slow.BytesPerSec /= 3
+	measure := func(strat StrategyKind) vtime.Time {
+		ev := newEnv(t, 2, strat, ibRail(), slow)
+		msg := make([]byte, 8<<20)
+		var done vtime.Time
+		ev.run(t, func(rank int, p *vtime.Proc) {
+			if rank == 0 {
+				ev.wait(0, p, ev.cores[0].ISend(ev.cores[0].Gate(1), 1, msg))
+			} else {
+				ev.wait(1, p, ev.cores[1].IRecv(ev.cores[1].Gate(0), 1, ^uint64(0), make([]byte, len(msg))))
+				done = p.Now()
+			}
+		})
+		return done
+	}
+	adaptive := measure(StratSplitBalance)
+	static := measure(StratSplitStatic)
+	if adaptive >= static {
+		t.Fatalf("adaptive (%d) should beat static 50/50 (%d) on asymmetric rails",
+			adaptive, static)
+	}
+}
+
+func TestThreeRailWaterfill(t *testing.T) {
+	third := mxRail()
+	third.Name = "mx2"
+	third.BytesPerSec *= 0.5
+	ev := newEnv(t, 2, StratSplitBalance, ibRail(), mxRail(), third)
+	shares := stratSplit{}.SplitRdv(ev.cores[0], 32<<20)
+	if len(shares) != 3 {
+		t.Fatalf("want 3 shares for a huge payload, got %v", shares)
+	}
+	total := 0
+	for _, s := range shares {
+		total += s.Len
+	}
+	if total != 32<<20 {
+		t.Fatalf("conservation broken: %d", total)
+	}
+	// The fastest rail (ib) must carry the most, the slowest the least.
+	if !(shares[0].Len > shares[1].Len && shares[1].Len > shares[2].Len) {
+		t.Fatalf("shares not ordered by rail speed: %v", shares)
+	}
+}
+
+func TestAggregationRespectsCap(t *testing.T) {
+	ev := newEnv(t, 2, StratAggreg)
+	core := ev.cores[0]
+	// Queue many packs while the NIC is busy, then verify no emitted packet
+	// wrapper exceeds AggregMax payload (+headers).
+	const n = 64
+	msgSize := 4 << 10
+	ev.run(t, func(rank int, p *vtime.Proc) {
+		if rank == 0 {
+			var last *Request
+			for i := 0; i < n; i++ {
+				last = core.ISend(core.Gate(1), 1, make([]byte, msgSize))
+			}
+			ev.wait(0, p, last)
+		} else {
+			for i := 0; i < n; i++ {
+				ev.wait(1, p, ev.cores[1].IRecv(ev.cores[1].Gate(0), 1, ^uint64(0), make([]byte, msgSize)))
+			}
+		}
+	})
+	if core.PwsSent >= n {
+		t.Fatalf("no aggregation: %d pws for %d messages", core.PwsSent, n)
+	}
+	// Each aggregated pw holds at most AggregMax/msgSize entries (8).
+	maxEntries := core.opt.AggregMax/msgSize + 1
+	if avg := float64(core.EntriesSent) / float64(core.PwsSent); avg > float64(maxEntries) {
+		t.Fatalf("average %f entries per pw exceeds cap %d", avg, maxEntries)
+	}
+}
+
+func TestSampleTableMatchesEstimate(t *testing.T) {
+	ev := newEnv(t, 2, StratDefault)
+	rail := ev.net.Rail(0)
+	for _, pt := range rail.SampleTable() {
+		if pt.Xfer != rail.Params.EstimateXfer(pt.Size) {
+			t.Fatalf("sampling table inconsistent at %d", pt.Size)
+		}
+	}
+}
+
+func TestOweChargesAtNextPoll(t *testing.T) {
+	ev := newEnv(t, 2, StratDefault)
+	core := ev.cores[0]
+	core.Owe(12345)
+	n, cost := core.Poll()
+	if n == 0 || cost < 12345 {
+		t.Fatalf("owed cost not charged: n=%d cost=%d", n, cost)
+	}
+	core.Owe(-5) // negative owed is ignored
+	if core.owed != 0 {
+		t.Fatal("negative Owe must be ignored")
+	}
+}
+
+func TestGateAccessors(t *testing.T) {
+	ev := newEnv(t, 3, StratDefault)
+	g := ev.cores[0].Gate(2)
+	if g == nil || g.PeerRank != 2 {
+		t.Fatalf("gate = %+v", g)
+	}
+	if ev.cores[0].Gate(99) != nil {
+		t.Fatal("unknown gate should be nil")
+	}
+	if ev.cores[0].Rank() != 0 || ev.cores[0].Strategy() != "default" {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestEntryKindStrings(t *testing.T) {
+	for k, want := range map[EntryKind]string{
+		EntryEager: "eager", EntryRTS: "rts", EntryCTS: "cts", EntryData: "data",
+	} {
+		if k.String() != want {
+			t.Errorf("kind %d = %q", k, k.String())
+		}
+	}
+	if EntryKind(99).String() == "" {
+		t.Error("unknown kind must still format")
+	}
+}
+
+func TestPacketWireSize(t *testing.T) {
+	pw := &Packet{Entries: []Entry{
+		{Kind: EntryEager, Data: make([]byte, 100)},
+		{Kind: EntryRTS},
+	}}
+	want := pwHeaderBytes + entryHeaderBytes + 100 + entryHeaderBytes
+	if pw.WireSize() != want {
+		t.Fatalf("WireSize = %d, want %d", pw.WireSize(), want)
+	}
+}
+
+func TestUnknownStrategyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newStrategy(StrategyKind(42))
+}
+
+func TestMissingPostTaskPanics(t *testing.T) {
+	e := vtime.NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for missing PostTask")
+		}
+	}()
+	New(e, 0, 0, Options{Rails: []*simnet.Rail{}})
+}
+
+// Benchmark the nmad fast path: eager pingpong in virtual time, measuring
+// wall-clock simulation throughput.
+func BenchmarkEagerPingPongSimThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := &testing.T{}
+		ev := newEnv(t, 2, StratAggreg)
+		msg := make([]byte, 64)
+		ev.run(t, func(rank int, p *vtime.Proc) {
+			buf := make([]byte, 64)
+			for k := 0; k < 50; k++ {
+				if rank == 0 {
+					ev.wait(0, p, ev.cores[0].ISend(ev.cores[0].Gate(1), 1, msg))
+					ev.wait(0, p, ev.cores[0].IRecv(ev.cores[0].Gate(1), 1, ^uint64(0), buf))
+				} else {
+					ev.wait(1, p, ev.cores[1].IRecv(ev.cores[1].Gate(0), 1, ^uint64(0), buf))
+					ev.wait(1, p, ev.cores[1].ISend(ev.cores[1].Gate(0), 1, msg))
+				}
+			}
+		})
+	}
+	b.ReportMetric(float64(100*b.N), "msgs")
+}
+
+func ExamplePacket_WireSize() {
+	pw := &Packet{From: 0, To: 1, Entries: []Entry{{Kind: EntryEager, Data: []byte("hi")}}}
+	fmt.Println(pw.WireSize())
+	// Output: 50
+}

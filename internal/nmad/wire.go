@@ -1,0 +1,177 @@
+// Package nmad implements the NewMadeleine communication library (§2.2):
+// a message-passing engine that, unlike latency-obsessed libraries, keeps a
+// window of pending packets per destination and applies optimization
+// strategies (aggregation, multirail distribution) over the accumulated
+// communication requests when the network is busy.
+//
+// The public surface mirrors the nm_sr ("send/receive") interface the paper
+// quotes — nm_sr_isend / nm_sr_irecv plus completion queries — with internal
+// tag matching, an internal eager/rendezvous protocol, native multirail
+// support with sampling-derived split ratios, and *no request cancellation*
+// (a posted request must eventually be matched, which is what forces the
+// ANY_SOURCE design of §3.2 in the MPICH2 module).
+package nmad
+
+import (
+	"fmt"
+
+	"repro/internal/vtime"
+)
+
+// EntryKind discriminates the entries multiplexed inside a packet wrapper.
+type EntryKind uint8
+
+const (
+	// EntryEager carries a complete small message in-band.
+	EntryEager EntryKind = iota
+	// EntryRTS announces a large message (rendezvous request-to-send).
+	EntryRTS
+	// EntryCTS grants a rendezvous (clear-to-send), sender-bound.
+	EntryCTS
+	// EntryData carries one chunk of rendezvous payload.
+	EntryData
+)
+
+func (k EntryKind) String() string {
+	switch k {
+	case EntryEager:
+		return "eager"
+	case EntryRTS:
+		return "rts"
+	case EntryCTS:
+		return "cts"
+	case EntryData:
+		return "data"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Wire-format overheads (bytes) charged for headers on the simulated wire.
+const (
+	pwHeaderBytes    = 24 // per packet wrapper
+	entryHeaderBytes = 24 // per multiplexed entry
+)
+
+// Entry is one logical unit inside a packet wrapper.
+type Entry struct {
+	Kind EntryKind
+	Tag  uint64
+	Seq  uint32
+	// MsgLen is the total message length (RTS announces it; eager carries
+	// len(Data) == MsgLen).
+	MsgLen int
+	// PackID identifies the sender-side pack for RTS/CTS routing.
+	PackID uint64
+	// RecvID identifies the receiver-side request for CTS/Data routing.
+	RecvID uint64
+	// Offset is the chunk offset for EntryData.
+	Offset int
+	Data   []byte
+}
+
+func (en Entry) wireSize() int { return entryHeaderBytes + len(en.Data) }
+
+// Packet is a packet wrapper: one wire transmission possibly aggregating
+// several entries bound for the same gate (destination process).
+type Packet struct {
+	From, To int // ranks
+	Entries  []Entry
+}
+
+// WireSize is the number of bytes the packet occupies on the wire.
+func (pw *Packet) WireSize() int {
+	s := pwHeaderBytes
+	for _, en := range pw.Entries {
+		s += en.wireSize()
+	}
+	return s
+}
+
+// Status describes a completed receive.
+type Status struct {
+	// Peer is the rank the message came from.
+	Peer int
+	// Tag is the matched tag.
+	Tag uint64
+	// Len is the number of payload bytes delivered.
+	Len int
+	// Truncated reports that the message was longer than the posted buffer.
+	Truncated bool
+}
+
+// reqKind discriminates request flavours.
+type reqKind uint8
+
+const (
+	reqSend reqKind = iota
+	reqRecv
+)
+
+// Request is an opaque in-flight operation handle (the nmad_request of the
+// paper). Requests are allocated internally by ISend/IRecv; they cannot be
+// cancelled — once posted, a request must eventually complete (§2.2.1).
+type Request struct {
+	kind reqKind
+	core *Core
+	done bool
+
+	// Send side.
+	gate *Gate
+	tag  uint64
+	data []byte
+	seq  uint32
+	id   uint64
+	rdv  bool
+	// acked counts rendezvous payload bytes known to have left/arrived.
+	acked int
+
+	// Recv side.
+	mask    uint64
+	buf     []byte
+	anyGate bool
+	status  Status
+
+	// OnComplete, if set, runs exactly once when the request completes,
+	// in progress context. The MPICH2 module uses it to mark the paired
+	// CH3 request complete (§3.1.1). Prefer SetOnComplete, which handles
+	// requests that completed synchronously (e.g. a receive satisfied from
+	// the unexpected store inside IRecv).
+	OnComplete func(*Request)
+}
+
+// SetOnComplete installs the completion callback; if the request already
+// completed it fires immediately.
+func (r *Request) SetOnComplete(f func(*Request)) {
+	if r.done {
+		f(r)
+		return
+	}
+	r.OnComplete = f
+}
+
+// Done reports completion.
+func (r *Request) Done() bool { return r.done }
+
+// Status returns the receive status; valid once Done() for receive requests.
+func (r *Request) Status() Status { return r.status }
+
+// IsRecv reports whether this is a receive request.
+func (r *Request) IsRecv() bool { return r.kind == reqRecv }
+
+func (r *Request) complete() {
+	if r.done {
+		return
+	}
+	r.done = true
+	if r.OnComplete != nil {
+		r.OnComplete(r)
+	}
+}
+
+// CopyCost models a memory copy of n bytes at the node's copy bandwidth.
+func copyCost(n int, memBW float64) vtime.Duration {
+	if n <= 0 || memBW <= 0 {
+		return 0
+	}
+	return vtime.Duration(float64(n) / memBW * 1e9)
+}

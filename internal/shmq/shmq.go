@@ -1,0 +1,168 @@
+// Package shmq implements the lock-free shared-memory queues at the heart of
+// the Nemesis communication channel (§2.1.1 of the paper).
+//
+// Nemesis moves intra-node messages through fixed-size message cells that
+// live in shared memory. Each process owns two multi-producer single-consumer
+// queues: a *free queue* holding empty cells and a *receive queue* into which
+// any sender may enqueue filled cells. Enqueue is lock-free (an atomic swap
+// on the tail pointer); dequeue is performed only by the owning process. The
+// receiver polls a single receive queue regardless of the number of peers,
+// which is what makes the design scalable and MPI_ANY_SOURCE-friendly.
+//
+// This package is real concurrent code (sync/atomic) and is exercised by the
+// race-enabled tests; the simulation layers use it with deterministic,
+// single-threaded call sequences plus a virtual-time cost model.
+package shmq
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// CellType discriminates what a filled cell carries.
+type CellType uint8
+
+const (
+	// CellData is an in-band eager message fragment.
+	CellData CellType = iota
+	// CellRTS is a CH3 rendezvous request-to-send control message.
+	CellRTS
+	// CellCTS is a CH3 rendezvous clear-to-send control message.
+	CellCTS
+	// CellRdvData is a rendezvous payload fragment, routed by ReqID rather
+	// than matched by tag.
+	CellRdvData
+)
+
+// Header describes the message (fragment) held in a cell. Field layout
+// mirrors the MPICH2 packet header that travels in each Nemesis cell.
+type Header struct {
+	Type   CellType
+	Src    int32 // sending rank
+	Tag    int32
+	Ctx    int32 // communicator context id
+	SeqNo  uint32
+	MsgLen int64 // total message length (may span multiple cells)
+	Offset int64 // offset of this fragment within the message
+	// ReqID carries an opaque request handle in RTS/CTS control cells so
+	// the peer can address its reply.
+	ReqID uint64
+}
+
+// Cell is one fixed-size shared-memory message cell.
+type Cell struct {
+	next atomic.Pointer[Cell]
+	Hdr  Header
+	buf  []byte // fixed capacity; len tracks the valid fragment bytes
+}
+
+// Payload returns the valid bytes of the fragment.
+func (c *Cell) Payload() []byte { return c.buf }
+
+// SetPayload copies p into the cell. It panics if p exceeds the capacity;
+// callers fragment messages across cells (as Nemesis does) before filling.
+func (c *Cell) SetPayload(p []byte) {
+	if len(p) > cap(c.buf) {
+		panic(fmt.Sprintf("shmq: payload %d exceeds cell capacity %d", len(p), cap(c.buf)))
+	}
+	c.buf = c.buf[:len(p)]
+	copy(c.buf, p)
+}
+
+// Capacity returns the fixed payload capacity of the cell.
+func (c *Cell) Capacity() int { return cap(c.buf) }
+
+// Queue is a lock-free multi-producer single-consumer queue of cells,
+// implementing the MPICH2/Nemesis enqueue/dequeue algorithm: enqueue swaps
+// the tail atomically and links the predecessor; dequeue (owner only)
+// resolves the race against an in-flight enqueue with a tail CAS.
+type Queue struct {
+	head atomic.Pointer[Cell]
+	tail atomic.Pointer[Cell]
+}
+
+// Enqueue appends c. Safe for concurrent use by any number of producers.
+func (q *Queue) Enqueue(c *Cell) {
+	c.next.Store(nil)
+	prev := q.tail.Swap(c)
+	if prev == nil {
+		q.head.Store(c)
+	} else {
+		prev.next.Store(c)
+	}
+}
+
+// Dequeue removes and returns the oldest cell, or nil if the queue is
+// (observably) empty. Only the owning consumer may call Dequeue.
+func (q *Queue) Dequeue() *Cell {
+	c := q.head.Load()
+	if c == nil {
+		return nil
+	}
+	if next := c.next.Load(); next != nil {
+		q.head.Store(next)
+	} else {
+		q.head.Store(nil)
+		if !q.tail.CompareAndSwap(c, nil) {
+			// A producer swapped the tail but has not linked c.next yet;
+			// wait for the link to appear (it is one store away).
+			next := c.next.Load()
+			for next == nil {
+				runtime.Gosched()
+				next = c.next.Load()
+			}
+			q.head.Store(next)
+		}
+	}
+	c.next.Store(nil)
+	return c
+}
+
+// Empty reports whether the queue appears empty to the consumer. A false
+// negative is impossible for cells enqueued before the call from the same
+// goroutine; concurrent in-flight enqueues may or may not be visible, which
+// is the same guarantee polling has on real shared memory.
+func (q *Queue) Empty() bool { return q.head.Load() == nil }
+
+// Pool is a process's pair of queues plus its cell storage: the free queue
+// seeded with every cell, and the receive queue into which peers enqueue.
+type Pool struct {
+	Free *Queue
+	Recv *Queue
+
+	numCells int
+	cellSize int
+}
+
+// NewPool allocates numCells cells of payload capacity cellSize bytes and
+// seeds the free queue with all of them.
+func NewPool(numCells, cellSize int) (*Pool, error) {
+	if numCells <= 0 || cellSize <= 0 {
+		return nil, fmt.Errorf("shmq: invalid pool %d cells x %d bytes", numCells, cellSize)
+	}
+	p := &Pool{Free: &Queue{}, Recv: &Queue{}, numCells: numCells, cellSize: cellSize}
+	backing := make([]byte, numCells*cellSize)
+	for i := 0; i < numCells; i++ {
+		c := &Cell{buf: backing[i*cellSize : i*cellSize : (i+1)*cellSize]}
+		p.Free.Enqueue(c)
+	}
+	return p, nil
+}
+
+// NumCells returns the number of cells the pool was created with.
+func (p *Pool) NumCells() int { return p.numCells }
+
+// CellSize returns the payload capacity of each cell.
+func (p *Pool) CellSize() int { return p.cellSize }
+
+// GetFree dequeues a free cell (nil if the free queue is exhausted, in which
+// case the sender must poll and retry, exactly like Nemesis flow control).
+func (p *Pool) GetFree() *Cell { return p.Free.Dequeue() }
+
+// Release returns a consumed cell to the free queue.
+func (p *Pool) Release(c *Cell) {
+	c.buf = c.buf[:0]
+	c.Hdr = Header{}
+	p.Free.Enqueue(c)
+}

@@ -1,0 +1,135 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundRobinSpread(t *testing.T) {
+	p := RoundRobin(8, 10)
+	if m := p.MaxRanksPerNode(10); m != 1 {
+		t.Fatalf("8 ranks on 10 nodes: max per node = %d, want 1", m)
+	}
+	p = RoundRobin(16, 10)
+	if m := p.MaxRanksPerNode(10); m != 2 {
+		t.Fatalf("16 ranks on 10 nodes: max per node = %d, want 2", m)
+	}
+	p = RoundRobin(64, 10)
+	if m := p.MaxRanksPerNode(10); m != 7 {
+		t.Fatalf("64 ranks on 10 nodes: max per node = %d, want 7", m)
+	}
+}
+
+func TestBlockPlacement(t *testing.T) {
+	p := Block(8, 2)
+	for r := 0; r < 4; r++ {
+		if p.NodeOf(r) != 0 {
+			t.Fatalf("rank %d on node %d, want 0", r, p.NodeOf(r))
+		}
+	}
+	for r := 4; r < 8; r++ {
+		if p.NodeOf(r) != 1 {
+			t.Fatalf("rank %d on node %d, want 1", r, p.NodeOf(r))
+		}
+	}
+}
+
+func TestSameNode(t *testing.T) {
+	p := Placement{0, 0, 1, 1}
+	if !p.SameNode(0, 1) || p.SameNode(1, 2) || !p.SameNode(2, 3) {
+		t.Fatal("SameNode wrong")
+	}
+}
+
+func TestRanksOnNode(t *testing.T) {
+	p := RoundRobin(6, 3)
+	got := p.RanksOnNode(1)
+	want := []int{1, 4}
+	if len(got) != len(want) {
+		t.Fatalf("ranks on node 1 = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks on node 1 = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestClusterValidate(t *testing.T) {
+	for _, c := range []Cluster{Xeon2(), Grid5000()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	bad := Cluster{Name: "bad", NumNodes: 0, CoresPerNode: 1, FlopsPerCore: 1, MemBWBytes: 1}
+	if bad.Validate() == nil {
+		t.Error("expected error for 0-node cluster")
+	}
+	bad = Cluster{Name: "bad", NumNodes: 1, CoresPerNode: 0, FlopsPerCore: 1, MemBWBytes: 1}
+	if bad.Validate() == nil {
+		t.Error("expected error for 0-core cluster")
+	}
+	bad = Cluster{Name: "bad", NumNodes: 1, CoresPerNode: 1, FlopsPerCore: 0, MemBWBytes: 1}
+	if bad.Validate() == nil {
+		t.Error("expected error for 0-flops cluster")
+	}
+}
+
+func TestPlacementValidate(t *testing.T) {
+	c := Xeon2()
+	if err := RoundRobin(2, c.NumNodes).Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	// 20 ranks on 2 nodes with 8 cores each must fail.
+	if err := RoundRobin(20, c.NumNodes).Validate(c); err == nil {
+		t.Fatal("expected over-subscription error")
+	}
+	// Placement referencing nonexistent node must fail.
+	if err := (Placement{0, 5}).Validate(c); err == nil {
+		t.Fatal("expected out-of-range node error")
+	}
+}
+
+func TestTestbedShapes(t *testing.T) {
+	x := Xeon2()
+	if x.NumNodes != 2 || x.CoresPerNode != 8 {
+		t.Fatalf("xeon2 = %+v", x)
+	}
+	g := Grid5000()
+	if g.NumNodes != 10 || g.CoresPerNode != 8 {
+		t.Fatalf("grid5000 = %+v", g)
+	}
+	if x.TotalCores() != 16 || g.TotalCores() != 80 {
+		t.Fatal("TotalCores wrong")
+	}
+}
+
+// Property: every rank is placed on a valid node and round-robin balances
+// within one rank.
+func TestPropertyRoundRobinBalanced(t *testing.T) {
+	f := func(npRaw, nodesRaw uint8) bool {
+		np := int(npRaw%64) + 1
+		nodes := int(nodesRaw%16) + 1
+		p := RoundRobin(np, nodes)
+		counts := make([]int, nodes)
+		for _, n := range p {
+			if n < 0 || n >= nodes {
+				return false
+			}
+			counts[n]++
+		}
+		min, max := np, 0
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		return max-min <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

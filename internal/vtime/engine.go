@@ -1,0 +1,339 @@
+// Package vtime implements a deterministic discrete-event simulation engine.
+//
+// Simulated processes (Proc) are goroutines that execute exactly one at a
+// time under the control of an Engine; they block on virtual-time primitives
+// (Sleep, Cond.Wait) and the engine advances a virtual clock between events.
+// Because at most one goroutine ever runs simulation code at a time and all
+// ordering ties are broken by a monotonically increasing sequence number,
+// every run of a simulation is bit-for-bit deterministic.
+//
+// Time is measured in integer nanoseconds (Time). Sub-nanosecond costs are
+// accumulated by callers before being charged.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Micros reports d as a floating-point number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+// Seconds reports d as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// DurationOf converts a floating point number of seconds into a Duration,
+// rounding to the nearest nanosecond.
+func DurationOf(seconds float64) Duration {
+	if seconds < 0 {
+		return 0
+	}
+	return Duration(seconds*1e9 + 0.5)
+}
+
+// Seconds reports t as a floating-point number of seconds since time zero.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Micros reports t as a floating-point number of microseconds since zero.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+type event struct {
+	t    Time
+	seq  int64
+	fn   func()
+	proc *Proc // non-nil for a proc wakeup event
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation driver. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     int64
+	yield   chan struct{}
+	cur     *Proc
+	live    int              // procs spawned and not yet finished
+	blocked map[*Proc]string // procs waiting on a Cond, with a reason
+	stopped bool
+}
+
+// NewEngine returns a fresh engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{
+		yield:   make(chan struct{}),
+		blocked: make(map[*Proc]string),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run in engine context at virtual time t. Scheduling in
+// the past is an error and panics: simulations must never rewind the clock.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("vtime: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d is clamped to zero.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Spawn creates a new simulated process executing fn and schedules it to
+// start at the current virtual time. The name is used in deadlock reports.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{e: e, name: name, resume: make(chan struct{})}
+	e.live++
+	e.seq++
+	heap.Push(&e.events, &event{t: e.now, seq: e.seq, proc: p})
+	go func() {
+		<-p.resume // wait for the engine to run us the first time
+		fn(p)
+		p.done = true
+		e.live--
+		e.yield <- struct{}{} // return control to the engine forever
+	}()
+	return p
+}
+
+// wake schedules p to resume at time t.
+func (e *Engine) wake(p *Proc, t Time) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{t: t, seq: e.seq, proc: p})
+}
+
+// run transfers control to proc p and waits until it yields back.
+func (e *Engine) runProc(p *Proc) {
+	prev := e.cur
+	e.cur = p
+	p.resume <- struct{}{}
+	<-e.yield
+	e.cur = prev
+}
+
+// DeadlockError reports that the event queue drained while simulated
+// processes were still blocked.
+type DeadlockError struct {
+	Now     Time
+	Blocked []string // "name: reason" for each blocked proc
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("vtime: deadlock at t=%dns, %d blocked procs: %v",
+		int64(d.Now), len(d.Blocked), d.Blocked)
+}
+
+// Run drives the simulation until the event queue is empty. It returns a
+// *DeadlockError if processes remain blocked with no pending events, nil
+// otherwise. Run must be called from outside any simulated process.
+func (e *Engine) Run() error {
+	return e.RunUntil(Time(1<<62 - 1))
+}
+
+// RunUntil drives the simulation until the event queue is empty or the next
+// event would occur after the deadline. Events exactly at the deadline run.
+func (e *Engine) RunUntil(deadline Time) error {
+	for len(e.events) > 0 && !e.stopped {
+		if e.events[0].t > deadline {
+			e.now = deadline
+			return nil
+		}
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.t
+		if ev.proc != nil {
+			if ev.proc.done {
+				continue // stale wakeup for a finished proc
+			}
+			delete(e.blocked, ev.proc)
+			e.runProc(ev.proc)
+		} else {
+			ev.fn()
+		}
+	}
+	if len(e.blocked) > 0 {
+		names := make([]string, 0, len(e.blocked))
+		for p, reason := range e.blocked {
+			names = append(names, p.name+": "+reason)
+		}
+		sort.Strings(names)
+		return &DeadlockError{Now: e.now, Blocked: names}
+	}
+	return nil
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// are discarded; blocked procs are abandoned (their goroutines are leaked
+// until process exit, which is acceptable for short-lived simulations).
+func (e *Engine) Stop() { e.stopped = true }
+
+// Proc is a simulated process. All methods must be called from within the
+// process's own goroutine (i.e. from the fn passed to Spawn), except Name.
+type Proc struct {
+	e      *Engine
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Name returns the name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine driving this process.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// yield returns control to the engine without scheduling a wakeup. The
+// caller must have arranged for a wakeup (timer or Cond) beforehand.
+func (p *Proc) yield() {
+	p.e.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d of virtual time. Zero or negative d
+// still yields, allowing same-time events to interleave deterministically.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.e.wake(p, p.e.now.Add(d))
+	p.yield()
+}
+
+// block suspends the process until some other party wakes it via engine.wake.
+func (p *Proc) block(reason string) {
+	p.e.blocked[p] = reason
+	p.yield()
+}
+
+// Cond is a broadcast condition variable in virtual time. Waiters are woken
+// by Signal in FIFO order at the signalling instant. As with sync.Cond,
+// callers should re-check their predicate in a loop.
+type Cond struct {
+	e       *Engine
+	waiters []*Proc
+	reason  string
+}
+
+// NewCond returns a condition bound to engine e; reason appears in deadlock
+// reports for processes blocked on it.
+func NewCond(e *Engine, reason string) *Cond {
+	return &Cond{e: e, reason: reason}
+}
+
+// Wait blocks p until the next Signal or Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.block(c.reason)
+}
+
+// Broadcast wakes every current waiter at the present virtual time.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		c.e.wake(p, c.e.now)
+	}
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.e.wake(p, c.e.now)
+}
+
+// Waiters reports how many processes are blocked on c.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Sema is a counting semaphore in virtual time; Release may be called from
+// engine context (event callbacks), Acquire only from proc context. It is
+// the analogue of the blocking primitives PIOMan substitutes for busy-wait
+// loops (§3.3.2 of the paper).
+type Sema struct {
+	n    int
+	cond *Cond
+}
+
+// NewSema returns a semaphore with initial count n.
+func NewSema(e *Engine, reason string, n int) *Sema {
+	return &Sema{n: n, cond: NewCond(e, reason)}
+}
+
+// Acquire decrements the semaphore, blocking p while the count is zero.
+func (s *Sema) Acquire(p *Proc) {
+	for s.n == 0 {
+		s.cond.Wait(p)
+	}
+	s.n--
+}
+
+// TryAcquire decrements without blocking; reports whether it succeeded.
+func (s *Sema) TryAcquire() bool {
+	if s.n == 0 {
+		return false
+	}
+	s.n--
+	return true
+}
+
+// Release increments the semaphore and wakes one waiter.
+func (s *Sema) Release() {
+	s.n++
+	s.cond.Signal()
+}
+
+// Value returns the current count.
+func (s *Sema) Value() int { return s.n }

@@ -1,0 +1,332 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/ch3"
+	"repro/internal/coll"
+	"repro/internal/marcel"
+	"repro/internal/pioman"
+	"repro/internal/vtime"
+)
+
+// Status describes a completed receive.
+type Status struct {
+	Source    int
+	Tag       int
+	Len       int
+	Truncated bool
+}
+
+func fromCH3(s ch3.Status) Status {
+	return Status{Source: int(s.Source), Tag: int(s.Tag), Len: s.Len, Truncated: s.Truncated}
+}
+
+// Request is an in-flight nonblocking operation.
+type Request struct {
+	c  *Comm
+	r  *ch3.Request // nil for self-sends/recvs
+	st *Status      // self-op status (set on completion)
+	ok *bool        // self-op completion flag
+
+	// Self-receive matching state.
+	selfTag int32
+	selfCtx int32
+	selfBuf []byte
+}
+
+// Done reports completion.
+func (q *Request) Done() bool {
+	if q.r != nil {
+		return q.r.Done()
+	}
+	return *q.ok
+}
+
+// Comm is one rank's communicator handle (MPI_COMM_WORLD by default; Dup
+// derives new contexts).
+type Comm struct {
+	cfg  Config
+	proc *vtime.Proc
+	p    *ch3.Process
+	node *marcel.Node
+	mgr  *pioman.Manager
+
+	ctx     int32 // point-to-point context
+	collCtx int32 // collective context
+
+	nextCtx *int32 // shared counter for Dup
+
+	selfSends []selfMsg
+	selfRecvs []*Request
+}
+
+type selfMsg struct {
+	tag  int32
+	ctx  int32
+	data []byte
+}
+
+func newComm(cfg Config, proc *vtime.Proc, p *ch3.Process, node *marcel.Node, mgr *pioman.Manager) *Comm {
+	next := int32(2)
+	return &Comm{cfg: cfg, proc: proc, p: p, node: node, mgr: mgr,
+		ctx: 0, collCtx: 1, nextCtx: &next}
+}
+
+// Rank returns this process's rank.
+func (c *Comm) Rank() int { return c.p.Rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.p.Size }
+
+// Dup returns a communicator with fresh contexts (local operation; all
+// ranks must call it in the same order, as in MPI).
+func (c *Comm) Dup() *Comm {
+	d := *c
+	d.ctx = *c.nextCtx
+	d.collCtx = *c.nextCtx + 1
+	*c.nextCtx += 2
+	d.selfSends = nil
+	d.selfRecvs = nil
+	return &d
+}
+
+// Wtime returns the current virtual time in seconds.
+func (c *Comm) Wtime() float64 { return c.proc.Now().Seconds() }
+
+// Compute occupies a core for the given number of virtual seconds.
+func (c *Comm) Compute(seconds float64) {
+	c.node.Compute(c.proc, vtime.DurationOf(seconds))
+}
+
+// ComputeFlops occupies a core for the time ops floating-point operations
+// take at the cluster's sustained per-core rate (scaled by the stack's
+// compute efficiency).
+func (c *Comm) ComputeFlops(ops float64) {
+	rate := c.cfg.Cluster.FlopsPerCore * c.cfg.Stack.Efficiency()
+	c.Compute(ops / rate)
+}
+
+// ---- point to point --------------------------------------------------------
+
+// Isend starts a nonblocking send.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	c.checkRank(dst, "Isend")
+	if dst == c.Rank() {
+		return c.selfIsend(int32(tag), c.ctx, data)
+	}
+	return &Request{c: c, r: c.p.Isend(c.proc, dst, int32(tag), c.ctx, data)}
+}
+
+// Irecv starts a nonblocking receive; src may be AnySource, tag AnyTag.
+func (c *Comm) Irecv(src, tag int, buf []byte) *Request {
+	if src != AnySource {
+		c.checkRank(src, "Irecv")
+	}
+	if src == c.Rank() {
+		return c.selfIrecv(int32(tag), c.ctx, buf)
+	}
+	return &Request{c: c, r: c.p.Irecv(c.proc, src, int32(tag), c.ctx, buf)}
+}
+
+// Send is a blocking send.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	c.Wait(c.Isend(dst, tag, data))
+}
+
+// Recv is a blocking receive.
+func (c *Comm) Recv(src, tag int, buf []byte) Status {
+	return c.Wait(c.Irecv(src, tag, buf))
+}
+
+// Wait blocks until the request completes and returns its status (zero
+// Status for sends).
+func (c *Comm) Wait(q *Request) Status {
+	c.mgr.WaitUntil(c.proc, q.Done)
+	return q.status()
+}
+
+// WaitAll blocks until every request completes.
+func (c *Comm) WaitAll(qs ...*Request) {
+	c.mgr.WaitUntil(c.proc, func() bool {
+		for _, q := range qs {
+			if q != nil && !q.Done() {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// WaitAny blocks until at least one request completes and returns its index
+// and status (MPI_Waitany). Indexes of already-completed requests win.
+func (c *Comm) WaitAny(qs ...*Request) (int, Status) {
+	idx := -1
+	c.mgr.WaitUntil(c.proc, func() bool {
+		for i, q := range qs {
+			if q != nil && q.Done() {
+				idx = i
+				return true
+			}
+		}
+		return false
+	})
+	return idx, qs[idx].status()
+}
+
+// Test reports whether the request completed, after one progress pass.
+func (c *Comm) Test(q *Request) bool {
+	if q.Done() {
+		return true
+	}
+	c.mgr.Progress(c.proc)
+	return q.Done()
+}
+
+// Sendrecv performs a concurrent send and receive (both with tag).
+func (c *Comm) Sendrecv(dst, stag int, sdata []byte, src, rtag int, rbuf []byte) Status {
+	rq := c.Irecv(src, rtag, rbuf)
+	sq := c.Isend(dst, stag, sdata)
+	c.WaitAll(sq, rq)
+	return rq.status()
+}
+
+func (q *Request) status() Status {
+	if q.r != nil {
+		if q.r.IsRecv() {
+			return fromCH3(q.r.Stat)
+		}
+		return Status{}
+	}
+	if q.st != nil {
+		return *q.st
+	}
+	return Status{}
+}
+
+func (c *Comm) checkRank(r int, op string) {
+	if r < 0 || r >= c.Size() {
+		panic(fmt.Sprintf("mpi: %s rank %d out of range [0,%d)", op, r, c.Size()))
+	}
+}
+
+// ---- self messaging ---------------------------------------------------------
+//
+// MPI allows a process to send to itself (nonblocking, buffered below the
+// eager threshold). Matching is by (ctx, tag); AnySource receives do not
+// match self messages in this implementation (documented limitation).
+
+func (c *Comm) selfIsend(tag, ctx int32, data []byte) *Request {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	done := true
+	q := &Request{c: c, ok: &done}
+	// Try pending self receives first (FIFO).
+	for i, rq := range c.selfRecvs {
+		if rq.matchSelf(tag, ctx) {
+			c.selfRecvs = append(c.selfRecvs[:i], c.selfRecvs[i+1:]...)
+			rq.completeSelf(c.Rank(), tag, cp)
+			return q
+		}
+	}
+	c.selfSends = append(c.selfSends, selfMsg{tag: tag, ctx: ctx, data: cp})
+	return q
+}
+
+func (q *Request) matchSelf(tag, ctx int32) bool {
+	return q.selfCtx == ctx && (q.selfTag == int32(AnyTag) || q.selfTag == tag)
+}
+
+func (q *Request) completeSelf(src int, tag int32, data []byte) {
+	n := copy(q.selfBuf, data)
+	*q.ok = true
+	*q.st = Status{Source: src, Tag: int(tag), Len: n, Truncated: n < len(data)}
+}
+
+func (c *Comm) selfIrecv(tag, ctx int32, buf []byte) *Request {
+	done := false
+	st := Status{}
+	q := &Request{c: c, ok: &done, st: &st, selfTag: tag, selfCtx: ctx, selfBuf: buf}
+	for i, m := range c.selfSends {
+		if m.ctx == ctx && (tag == int32(AnyTag) || tag == m.tag) {
+			c.selfSends = append(c.selfSends[:i], c.selfSends[i+1:]...)
+			q.completeSelf(c.Rank(), m.tag, m.data)
+			return q
+		}
+	}
+	c.selfRecvs = append(c.selfRecvs, q)
+	return q
+}
+
+// ---- collectives -------------------------------------------------------------
+
+// SendT / RecvT / SendRecvT implement coll.PtPt on the collective context.
+func (c *Comm) SendT(dst int, tag int32, data []byte) {
+	if dst == c.Rank() {
+		panic("mpi: collective self-send")
+	}
+	r := c.p.Isend(c.proc, dst, tag, c.collCtx, data)
+	c.mgr.WaitUntil(c.proc, r.Done)
+}
+
+// RecvT receives on the collective context.
+func (c *Comm) RecvT(src int, tag int32, buf []byte) int {
+	r := c.p.Irecv(c.proc, src, tag, c.collCtx, buf)
+	c.mgr.WaitUntil(c.proc, r.Done)
+	return r.Stat.Len
+}
+
+// SendRecvT performs a concurrent exchange on the collective context.
+func (c *Comm) SendRecvT(dst int, sdata []byte, src int, rbuf []byte, tag int32) int {
+	rr := c.p.Irecv(c.proc, src, tag, c.collCtx, rbuf)
+	sr := c.p.Isend(c.proc, dst, tag, c.collCtx, sdata)
+	c.mgr.WaitUntil(c.proc, func() bool { return rr.Done() && sr.Done() })
+	return rr.Stat.Len
+}
+
+// Barrier blocks until all ranks reach it.
+func (c *Comm) Barrier() { coll.Barrier(c, 0) }
+
+// Bcast distributes data (in place) from root.
+func (c *Comm) Bcast(root int, data []byte) { coll.Bcast(c, root, data, 1) }
+
+// AllreduceF64 combines x elementwise across ranks, in place.
+func (c *Comm) AllreduceF64(x []float64, op coll.Op) { coll.Allreduce(c, x, op, 2) }
+
+// ReduceF64 combines x into root's x (clobbered elsewhere).
+func (c *Comm) ReduceF64(root int, x []float64, op coll.Op) { coll.Reduce(c, root, x, op, 3) }
+
+// Allgather collects each rank's block into out[r].
+func (c *Comm) Allgather(mine []byte, out [][]byte) { coll.Allgather(c, mine, out, 4) }
+
+// Alltoall exchanges send[r] → rank r into recv[s].
+func (c *Comm) Alltoall(send, recv [][]byte) { coll.Alltoall(c, send, recv, 5) }
+
+// Gather collects blocks at root.
+func (c *Comm) Gather(root int, mine []byte, out [][]byte) { coll.Gather(c, root, mine, out, 6) }
+
+// Scatter distributes blocks[r] from root to rank r's buf (MPI_Scatter;
+// blocks is only read on root).
+func (c *Comm) Scatter(root int, blocks [][]byte, buf []byte) {
+	if c.Rank() == root {
+		copy(buf, blocks[c.Rank()])
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				c.SendT(r, 8, blocks[r])
+			}
+		}
+		return
+	}
+	c.RecvT(root, 8, buf)
+}
+
+// Reduction operators, re-exported.
+var (
+	OpSum = coll.OpSum
+	OpMax = coll.OpMax
+	OpMin = coll.OpMin
+)
+
+// F64Bytes / BytesF64 re-export the wire codec for float64 vectors.
+func F64Bytes(xs []float64) []byte     { return coll.F64Bytes(xs) }
+func BytesF64(dst []float64, b []byte) { coll.BytesF64(dst, b) }

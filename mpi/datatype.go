@@ -1,0 +1,144 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/vtime"
+)
+
+// Datatype describes the memory layout of a message element, supporting the
+// non-contiguous user datatypes the paper lists as future work ("we think
+// that NewMadeleine's optimization schemes might improve performance for
+// non-contiguous user datatypes", §5). This implementation packs and unpacks
+// through a contiguous staging buffer — the classic MPICH2 approach — and
+// charges the packing copies to the caller.
+type Datatype interface {
+	// Size is the number of payload bytes one element carries.
+	Size() int
+	// Extent is the span of one element in user memory.
+	Extent() int
+	// Pack gathers one element from user memory into wire form.
+	Pack(dst, user []byte)
+	// Unpack scatters one element from wire form into user memory.
+	Unpack(user, src []byte)
+	// Name describes the type.
+	Name() string
+}
+
+// Contig is n contiguous bytes.
+type Contig struct{ N int }
+
+func (t Contig) Size() int               { return t.N }
+func (t Contig) Extent() int             { return t.N }
+func (t Contig) Pack(dst, user []byte)   { copy(dst, user[:t.N]) }
+func (t Contig) Unpack(user, src []byte) { copy(user, src[:t.N]) }
+func (t Contig) Name() string            { return fmt.Sprintf("contig(%d)", t.N) }
+
+// Vector is the strided MPI_Type_vector layout: Count blocks of BlockLen
+// bytes separated by Stride bytes in user memory.
+type Vector struct {
+	Count    int
+	BlockLen int
+	Stride   int
+}
+
+// Validate reports whether the vector layout is well formed.
+func (t Vector) Validate() error {
+	if t.Count <= 0 || t.BlockLen <= 0 || t.Stride < t.BlockLen {
+		return fmt.Errorf("mpi: invalid vector datatype %+v", t)
+	}
+	return nil
+}
+
+func (t Vector) Size() int   { return t.Count * t.BlockLen }
+func (t Vector) Extent() int { return (t.Count-1)*t.Stride + t.BlockLen }
+
+func (t Vector) Pack(dst, user []byte) {
+	for i := 0; i < t.Count; i++ {
+		copy(dst[i*t.BlockLen:(i+1)*t.BlockLen], user[i*t.Stride:])
+	}
+}
+
+func (t Vector) Unpack(user, src []byte) {
+	for i := 0; i < t.Count; i++ {
+		copy(user[i*t.Stride:i*t.Stride+t.BlockLen], src[i*t.BlockLen:])
+	}
+}
+
+func (t Vector) Name() string {
+	return fmt.Sprintf("vector(%dx%d/%d)", t.Count, t.BlockLen, t.Stride)
+}
+
+// packCost models the staging copy.
+func (c *Comm) packCost(n int) {
+	bw := c.p.ShmMemBW()
+	if n <= 0 || bw <= 0 {
+		return
+	}
+	c.proc.Sleep(vtime.Duration(float64(n) / bw * 1e9))
+}
+
+// SendD sends `count` elements of datatype dt taken from user memory. The
+// elements are packed into a contiguous wire buffer first (cost charged).
+func (c *Comm) SendD(dst, tag int, user []byte, dt Datatype, count int) {
+	wire := c.packD(user, dt, count)
+	c.Send(dst, tag, wire)
+}
+
+// RecvD receives `count` elements of datatype dt into user memory. It
+// returns the receive status (Len counts wire bytes).
+func (c *Comm) RecvD(src, tag int, user []byte, dt Datatype, count int) Status {
+	wire := make([]byte, dt.Size()*count)
+	st := c.Recv(src, tag, wire)
+	c.unpackD(user, wire[:st.Len], dt)
+	return st
+}
+
+func (c *Comm) packD(user []byte, dt Datatype, count int) []byte {
+	size, extent := dt.Size(), dt.Extent()
+	wire := make([]byte, size*count)
+	for i := 0; i < count; i++ {
+		dt.Pack(wire[i*size:(i+1)*size], user[i*extent:])
+	}
+	c.packCost(size * count)
+	return wire
+}
+
+func (c *Comm) unpackD(user, wire []byte, dt Datatype) {
+	size, extent := dt.Size(), dt.Extent()
+	n := len(wire) / size
+	for i := 0; i < n; i++ {
+		dt.Unpack(user[i*extent:], wire[i*size:(i+1)*size])
+	}
+	c.packCost(len(wire))
+}
+
+// AlltoallvBytes exchanges variable-size blocks: send[r] goes to rank r and
+// recv[s] (pre-sized by the caller) receives from rank s. This is the
+// primitive the IS kernel needs.
+func (c *Comm) AlltoallvBytes(send, recv [][]byte) {
+	n := c.Size()
+	rank := c.Rank()
+	copy(recv[rank], send[rank])
+	if n == 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		for i := 1; i < n; i++ {
+			partner := rank ^ i
+			c.sendrecvColl(partner, send[partner], partner, recv[partner])
+		}
+		return
+	}
+	for i := 1; i < n; i++ {
+		dst := (rank + i) % n
+		src := (rank - i + n) % n
+		c.sendrecvColl(dst, send[dst], src, recv[src])
+	}
+}
+
+func (c *Comm) sendrecvColl(dst int, sdata []byte, src int, rbuf []byte) {
+	rr := c.p.Irecv(c.proc, src, 7, c.collCtx, rbuf)
+	sr := c.p.Isend(c.proc, dst, 7, c.collCtx, sdata)
+	c.mgr.WaitUntil(c.proc, func() bool { return rr.Done() && sr.Done() })
+}

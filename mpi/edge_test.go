@@ -1,0 +1,349 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/cluster"
+	"repro/internal/topo"
+)
+
+// TestNetworkTruncationRendezvous: the receive buffer is smaller than the
+// rendezvous message; the CTS grants only the buffer size, the sender ships
+// the granted prefix and both requests complete with Truncated set.
+func TestNetworkTruncationRendezvous(t *testing.T) {
+	for _, s := range []cluster.Stack{cluster.MPICH2NmadIB(), cluster.MVAPICH2(), cluster.MPICH2NemesisGeneric()} {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			msg := make([]byte, 1<<20)
+			for i := range msg {
+				msg[i] = byte(i * 3)
+			}
+			_, err := Run(xeonCfg(2, s), func(c *Comm) {
+				if c.Rank() == 0 {
+					c.Send(1, 1, msg)
+				} else {
+					buf := make([]byte, 4096)
+					st := c.Recv(0, 1, buf)
+					if !st.Truncated || st.Len != 4096 {
+						t.Errorf("status %+v, want truncated 4096", st)
+					}
+					if !bytes.Equal(buf, msg[:4096]) {
+						t.Error("granted prefix corrupted")
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBidirectionalRendezvous: both ranks send large messages to each other
+// simultaneously — two interleaved rendezvous handshakes must not deadlock.
+func TestBidirectionalRendezvous(t *testing.T) {
+	for _, s := range allStacks() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			const size = 512 << 10
+			_, err := Run(xeonCfg(2, s), func(c *Comm) {
+				me := byte(c.Rank() + 1)
+				out := bytes.Repeat([]byte{me}, size)
+				in := make([]byte, size)
+				other := 1 - c.Rank()
+				st := c.Sendrecv(other, 1, out, other, 1, in)
+				if st.Len != size {
+					t.Errorf("rank %d got %d bytes", c.Rank(), st.Len)
+				}
+				want := byte(other + 1)
+				for i := 0; i < size; i += 7919 {
+					if in[i] != want {
+						t.Fatalf("rank %d byte %d = %d, want %d", c.Rank(), i, in[i], want)
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestManyOutstandingRendezvous: several rendezvous transfers in flight on
+// one gate, completed out of posting order by size.
+func TestManyOutstandingRendezvous(t *testing.T) {
+	_, err := Run(xeonCfg(2, cluster.MPICH2NmadIB()), func(c *Comm) {
+		sizes := []int{64 << 10, 256 << 10, 128 << 10, 512 << 10}
+		if c.Rank() == 0 {
+			var qs []*Request
+			for i, n := range sizes {
+				msg := bytes.Repeat([]byte{byte(i + 1)}, n)
+				qs = append(qs, c.Isend(1, i, msg))
+			}
+			c.WaitAll(qs...)
+		} else {
+			var qs []*Request
+			bufs := make([][]byte, len(sizes))
+			for i, n := range sizes {
+				bufs[i] = make([]byte, n)
+				qs = append(qs, c.Irecv(0, i, bufs[i]))
+			}
+			c.WaitAll(qs...)
+			for i := range sizes {
+				if bufs[i][0] != byte(i+1) || bufs[i][len(bufs[i])-1] != byte(i+1) {
+					t.Errorf("transfer %d corrupted", i)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnyTagOverNetwork(t *testing.T) {
+	for _, s := range []cluster.Stack{cluster.MPICH2NmadIB(), cluster.MVAPICH2()} {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			_, err := Run(xeonCfg(2, s), func(c *Comm) {
+				if c.Rank() == 0 {
+					c.Send(1, 4242, []byte("anytag"))
+				} else {
+					buf := make([]byte, 8)
+					st := c.Recv(0, AnyTag, buf)
+					if st.Tag != 4242 || string(buf[:st.Len]) != "anytag" {
+						t.Errorf("st=%+v buf=%q", st, buf)
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAnySourceAnyTagCombined(t *testing.T) {
+	_, err := Run(xeonCfg(4, cluster.MPICH2NmadIB()), func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 3; i++ {
+				buf := make([]byte, 8)
+				st := c.Recv(AnySource, AnyTag, buf)
+				if st.Tag != st.Source*100 {
+					t.Errorf("tag %d from %d", st.Tag, st.Source)
+				}
+			}
+		} else {
+			c.Send(0, c.Rank()*100, []byte{byte(c.Rank())})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTestMakesProgress(t *testing.T) {
+	_, err := Run(xeonCfg(2, cluster.MPICH2NmadIB()), func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("ping"))
+		} else {
+			buf := make([]byte, 8)
+			q := c.Irecv(0, 1, buf)
+			// Spin on Test instead of Wait; each Test drives progress.
+			for !c.Test(q) {
+				c.Compute(100e-9)
+			}
+			if string(buf[:4]) != "ping" {
+				t.Errorf("buf=%q", buf[:4])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherCollective(t *testing.T) {
+	_, err := Run(gridCfg(7, cluster.MPICH2NmadIB()), func(c *Comm) {
+		np := c.Size()
+		out := make([][]byte, np)
+		for i := range out {
+			out[i] = make([]byte, 2)
+		}
+		mine := []byte{byte(c.Rank()), 0x5A}
+		c.Gather(2, mine, out)
+		if c.Rank() == 2 {
+			for r := 0; r < np; r++ {
+				if out[r][0] != byte(r) || out[r][1] != 0x5A {
+					t.Errorf("out[%d] = %v", r, out[r])
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockPlacementAllShm(t *testing.T) {
+	// Four ranks packed on one node: all traffic through Nemesis cells.
+	cfg := Config{
+		Cluster:   cluster.Xeon2(),
+		Stack:     cluster.MPICH2NmadIB(),
+		NP:        4,
+		Placement: topo.Placement{0, 0, 0, 0},
+	}
+	rep, err := Run(cfg, func(c *Comm) {
+		x := []float64{float64(c.Rank())}
+		c.AllreduceF64(x, OpSum)
+		if x[0] != 6 {
+			t.Errorf("allreduce = %v", x)
+		}
+		right := (c.Rank() + 1) % 4
+		left := (c.Rank() + 3) % 4
+		buf := make([]byte, 100<<10) // rendezvous over shm
+		msg := make([]byte, 100<<10)
+		st := c.Sendrecv(right, 1, msg, left, 1, buf)
+		if st.Len != len(msg) {
+			t.Errorf("shm rdv len %d", st.Len)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Rails {
+		if r.Packets != 0 {
+			t.Errorf("network used (%d pkts) with single-node placement", r.Packets)
+		}
+	}
+}
+
+func TestThreeRailSplit(t *testing.T) {
+	third := cluster.RailMX()
+	third.Name = "mx2"
+	third.BytesPerSec *= 0.7
+	stack := cluster.MPICH2Nmad("nmad-3rail", cluster.RailIB(), cluster.RailMX(), third)
+	rep, err := Run(Config{
+		Cluster: cluster.Xeon2(), Stack: stack, NP: 2,
+		Placement: topo.Placement{0, 1},
+	}, func(c *Comm) {
+		msg := make([]byte, 32<<20)
+		if c.Rank() == 0 {
+			c.Send(1, 1, msg)
+		} else {
+			c.Recv(0, 1, msg)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Rails {
+		if r.Bytes < 1<<20 {
+			t.Errorf("rail %s carried only %d bytes; want all three active", r.Name, r.Bytes)
+		}
+	}
+}
+
+func TestSendrecvSelfPaired(t *testing.T) {
+	// Sendrecv where both peers are self.
+	_, err := Run(xeonCfg(1, cluster.MPICH2NmadIB()), func(c *Comm) {
+		out := []byte("loop")
+		in := make([]byte, 4)
+		st := c.Sendrecv(0, 9, out, 0, 9, in)
+		if st.Len != 4 || string(in) != "loop" {
+			t.Errorf("st=%+v in=%q", st, in)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargestMessage64MB(t *testing.T) {
+	// The paper's bandwidth axis tops at 64 MB; make sure the stack moves it.
+	_, err := Run(xeonCfg(2, cluster.MPICH2NmadMulti()), func(c *Comm) {
+		size := 64 << 20
+		if c.Rank() == 0 {
+			msg := make([]byte, size)
+			msg[0], msg[size-1] = 0xAB, 0xCD
+			c.Send(1, 1, msg)
+		} else {
+			buf := make([]byte, size)
+			st := c.Recv(0, 1, buf)
+			if st.Len != size || buf[0] != 0xAB || buf[size-1] != 0xCD {
+				t.Errorf("64MB transfer corrupted: %+v", st)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAny(t *testing.T) {
+	_, err := Run(xeonCfg(3, cluster.MPICH2NmadIB()), func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			buf1 := make([]byte, 8)
+			buf2 := make([]byte, 8)
+			q1 := c.Irecv(1, 1, buf1) // never satisfied until late
+			q2 := c.Irecv(2, 2, buf2) // satisfied first
+			idx, st := c.WaitAny(q1, q2)
+			if idx != 1 || st.Source != 2 {
+				t.Errorf("WaitAny = (%d, %+v), want (1, from 2)", idx, st)
+			}
+			c.Wait(q1)
+		case 1:
+			c.Compute(50e-6) // delay rank 1's send
+			c.Send(0, 1, []byte("late"))
+		case 2:
+			c.Send(0, 2, []byte("early"))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAnyAlreadyDone(t *testing.T) {
+	_, err := Run(xeonCfg(2, cluster.MVAPICH2()), func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("x"))
+		} else {
+			buf := make([]byte, 1)
+			q := c.Irecv(0, 1, buf)
+			c.Wait(q)
+			idx, _ := c.WaitAny(q) // already complete: immediate
+			if idx != 0 {
+				t.Errorf("idx = %d", idx)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	for _, np := range []int{2, 5, 8} {
+		np := np
+		_, err := Run(gridCfg(np, cluster.MPICH2NmadIB()), func(c *Comm) {
+			const root = 1
+			var blocks [][]byte
+			if c.Rank() == root {
+				for r := 0; r < np; r++ {
+					blocks = append(blocks, []byte{byte(r * 3), 0x77})
+				}
+			}
+			buf := make([]byte, 2)
+			c.Scatter(root, blocks, buf)
+			if buf[0] != byte(c.Rank()*3) || buf[1] != 0x77 {
+				t.Errorf("np=%d rank=%d got %v", np, c.Rank(), buf)
+			}
+		})
+		if err != nil {
+			t.Fatalf("np=%d: %v", np, err)
+		}
+	}
+}

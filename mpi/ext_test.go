@@ -1,0 +1,283 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/cluster"
+)
+
+// ---- datatypes -----------------------------------------------------------------
+
+func TestVectorDatatypePackUnpack(t *testing.T) {
+	v := Vector{Count: 3, BlockLen: 2, Stride: 4}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 6 || v.Extent() != 10 {
+		t.Fatalf("size=%d extent=%d", v.Size(), v.Extent())
+	}
+	user := []byte{1, 2, 0, 0, 3, 4, 0, 0, 5, 6}
+	wire := make([]byte, v.Size())
+	v.Pack(wire, user)
+	if !bytes.Equal(wire, []byte{1, 2, 3, 4, 5, 6}) {
+		t.Fatalf("packed %v", wire)
+	}
+	out := make([]byte, v.Extent())
+	v.Unpack(out, wire)
+	if !bytes.Equal(out, []byte{1, 2, 0, 0, 3, 4, 0, 0, 5, 6}) {
+		t.Fatalf("unpacked %v", out)
+	}
+}
+
+func TestVectorValidate(t *testing.T) {
+	bad := []Vector{
+		{Count: 0, BlockLen: 1, Stride: 1},
+		{Count: 1, BlockLen: 0, Stride: 1},
+		{Count: 2, BlockLen: 4, Stride: 2},
+	}
+	for _, v := range bad {
+		if v.Validate() == nil {
+			t.Errorf("%+v should be invalid", v)
+		}
+	}
+}
+
+func TestPropertyVectorRoundTrip(t *testing.T) {
+	f := func(countRaw, blockRaw, padRaw uint8, fill byte) bool {
+		count := int(countRaw%8) + 1
+		block := int(blockRaw%16) + 1
+		stride := block + int(padRaw%8)
+		v := Vector{Count: count, BlockLen: block, Stride: stride}
+		user := make([]byte, v.Extent())
+		for i := range user {
+			user[i] = fill + byte(i)
+		}
+		wire := make([]byte, v.Size())
+		v.Pack(wire, user)
+		out := make([]byte, v.Extent())
+		v.Unpack(out, wire)
+		// Every block position must round-trip.
+		for i := 0; i < count; i++ {
+			for j := 0; j < block; j++ {
+				if out[i*stride+j] != user[i*stride+j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvDatatypeOverNetwork(t *testing.T) {
+	// A strided column of a matrix travels packed and lands strided.
+	v := Vector{Count: 8, BlockLen: 8, Stride: 64} // one f64 column of an 8x8 f64 matrix
+	_, err := Run(xeonCfg(2, cluster.MPICH2NmadIB()), func(c *Comm) {
+		if c.Rank() == 0 {
+			user := make([]byte, v.Extent())
+			for i := 0; i < v.Count; i++ {
+				for j := 0; j < v.BlockLen; j++ {
+					user[i*v.Stride+j] = byte(i*10 + j)
+				}
+			}
+			c.SendD(1, 1, user, v, 1)
+		} else {
+			user := make([]byte, v.Extent())
+			st := c.RecvD(0, 1, user, v, 1)
+			if st.Len != v.Size() {
+				t.Errorf("wire len %d, want %d", st.Len, v.Size())
+			}
+			for i := 0; i < v.Count; i++ {
+				for j := 0; j < v.BlockLen; j++ {
+					if user[i*v.Stride+j] != byte(i*10+j) {
+						t.Fatalf("strided landing corrupted at block %d byte %d", i, j)
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContigDatatype(t *testing.T) {
+	ct := Contig{N: 16}
+	if ct.Size() != 16 || ct.Extent() != 16 || ct.Name() == "" {
+		t.Fatal("contig meta wrong")
+	}
+	_, err := Run(xeonCfg(2, cluster.MVAPICH2()), func(c *Comm) {
+		if c.Rank() == 0 {
+			user := make([]byte, 32)
+			for i := range user {
+				user[i] = byte(i)
+			}
+			c.SendD(1, 1, user, ct, 2)
+		} else {
+			user := make([]byte, 32)
+			c.RecvD(0, 1, user, ct, 2)
+			for i := range user {
+				if user[i] != byte(i) {
+					t.Fatalf("contig count=2 corrupted at %d", i)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- RMA ------------------------------------------------------------------------
+
+func TestRMAPutGet(t *testing.T) {
+	for _, s := range []cluster.Stack{cluster.MPICH2NmadIB(), cluster.MPICH2NmadIB().WithPIOMan(true)} {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			_, err := Run(xeonCfg(4, s), func(c *Comm) {
+				win := c.CreateWin(make([]byte, 64))
+				rank := c.Rank()
+				// Everyone puts its rank byte into slot `rank` of the right
+				// neighbour's window.
+				right := (rank + 1) % c.Size()
+				win.Put(right, rank, []byte{byte(rank + 100)})
+				win.Fence()
+				left := (rank - 1 + c.Size()) % c.Size()
+				if win.Buffer()[left] != byte(left+100) {
+					t.Errorf("rank %d window[%d] = %d, want %d",
+						rank, left, win.Buffer()[left], left+100)
+				}
+				// Now read it back from the neighbour with Get.
+				got := make([]byte, 1)
+				win.Get(right, rank, got)
+				win.Fence()
+				if got[0] != byte(rank+100) {
+					t.Errorf("rank %d got %d, want %d", rank, got[0], rank+100)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRMALocalFastPath(t *testing.T) {
+	_, err := Run(xeonCfg(2, cluster.MVAPICH2()), func(c *Comm) {
+		win := c.CreateWin(make([]byte, 8))
+		win.Put(c.Rank(), 0, []byte{42})
+		got := make([]byte, 1)
+		win.Get(c.Rank(), 0, got)
+		if got[0] != 42 {
+			t.Errorf("local RMA got %d", got[0])
+		}
+		win.Fence()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMALargePut(t *testing.T) {
+	// A rendezvous-size Put travels the full protocol path.
+	_, err := Run(xeonCfg(2, cluster.MPICH2NmadIB()), func(c *Comm) {
+		win := c.CreateWin(make([]byte, 256<<10))
+		if c.Rank() == 0 {
+			data := make([]byte, 200<<10)
+			for i := range data {
+				data[i] = byte(i * 7)
+			}
+			win.Put(1, 0, data)
+		}
+		win.Fence()
+		if c.Rank() == 1 {
+			for i := 0; i < 200<<10; i += 4097 {
+				if win.Buffer()[i] != byte(i*7) {
+					t.Fatalf("large put corrupted at %d", i)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMAMultipleEpochs(t *testing.T) {
+	_, err := Run(xeonCfg(2, cluster.MPICH2NmadIB()), func(c *Comm) {
+		win := c.CreateWin(make([]byte, 8))
+		for epoch := 0; epoch < 5; epoch++ {
+			if c.Rank() == 0 {
+				win.Put(1, 0, []byte{byte(epoch)})
+			}
+			win.Fence()
+			if c.Rank() == 1 && win.Buffer()[0] != byte(epoch) {
+				t.Errorf("epoch %d: window = %d", epoch, win.Buffer()[0])
+			}
+			win.Fence()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallvBytes(t *testing.T) {
+	for _, np := range []int{2, 4, 7, 8} {
+		np := np
+		_, err := Run(gridCfg(np, cluster.MPICH2NmadIB()), func(c *Comm) {
+			rank := c.Rank()
+			send := make([][]byte, np)
+			recv := make([][]byte, np)
+			for r := 0; r < np; r++ {
+				// Variable sizes: (rank+1)*(r+1) bytes to rank r.
+				send[r] = bytes.Repeat([]byte{byte(rank)}, (rank+1)*(r+1))
+				recv[r] = make([]byte, (r+1)*(rank+1))
+			}
+			c.AlltoallvBytes(send, recv)
+			for r := 0; r < np; r++ {
+				if len(recv[r]) != (r+1)*(rank+1) {
+					t.Errorf("np=%d recv[%d] len %d", np, r, len(recv[r]))
+				}
+				for _, b := range recv[r] {
+					if b != byte(r) {
+						t.Fatalf("np=%d recv[%d] has byte %d", np, r, b)
+					}
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("np=%d: %v", np, err)
+		}
+	}
+}
+
+// TestRMATwoPutsPerRankPIOMan reproduces a halo-exchange pattern: every rank
+// Puts into both neighbours in one epoch (two incoming ops per target).
+func TestRMATwoPutsPerRankPIOMan(t *testing.T) {
+	for _, s := range []cluster.Stack{cluster.MPICH2NmadIB(), cluster.MPICH2NmadIB().WithPIOMan(true)} {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			_, err := Run(xeonCfg(4, s), func(c *Comm) {
+				np := c.Size()
+				rank := c.Rank()
+				win := c.CreateWin(make([]byte, 2))
+				up := (rank - 1 + np) % np
+				down := (rank + 1) % np
+				win.Put(down, 0, []byte{byte(rank + 1)})
+				win.Put(up, 1, []byte{byte(rank + 101)})
+				win.Fence()
+				if win.Buffer()[0] != byte(up+1) || win.Buffer()[1] != byte(down+101) {
+					t.Errorf("rank %d window = %v", rank, win.Buffer())
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,234 @@
+// Package mpi is the public API of the MPICH2-NewMadeleine reproduction: it
+// runs an SPMD program over a simulated cluster under a selectable MPI stack
+// (MPICH2-NewMadeleine with or without PIOMan, MVAPICH2, Open MPI, or the
+// generic Nemesis module) and exposes MPI-style point-to-point operations,
+// collectives, compute modeling and virtual-time measurement.
+//
+// A minimal program:
+//
+//	cfg := mpi.Config{Cluster: cluster.Xeon2(), Stack: cluster.MPICH2NmadIB(), NP: 2}
+//	report, err := mpi.Run(cfg, func(c *mpi.Comm) {
+//		if c.Rank() == 0 {
+//			c.Send(1, 0, []byte("hello"))
+//		} else {
+//			buf := make([]byte, 8)
+//			st := c.Recv(0, 0, buf)
+//			fmt.Println(string(buf[:st.Len]))
+//		}
+//	})
+//
+// Everything runs in deterministic virtual time: Wtime returns simulated
+// seconds and repeated runs produce identical timings.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/cluster"
+	"repro/internal/ch3"
+	"repro/internal/core"
+	"repro/internal/marcel"
+	"repro/internal/nemesis"
+	"repro/internal/nmad"
+	"repro/internal/pioman"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+	"repro/internal/vtime"
+)
+
+// Wildcards, re-exported.
+const (
+	AnySource = int(ch3.AnySource)
+	AnyTag    = int(ch3.AnyTag)
+)
+
+// Config describes one run.
+type Config struct {
+	// Cluster is the simulated testbed.
+	Cluster topo.Cluster
+	// Placement maps ranks to nodes; defaults to round-robin.
+	Placement topo.Placement
+	// Stack selects the MPI implementation model.
+	Stack cluster.Stack
+	// NP is the number of ranks.
+	NP int
+}
+
+// RailStat summarizes one rail's traffic after a run.
+type RailStat struct {
+	Name    string
+	Packets int64
+	Bytes   int64
+}
+
+// Report is returned by Run.
+type Report struct {
+	// Seconds is the virtual time at which the simulation drained.
+	Seconds float64
+	// Rails holds per-rail traffic statistics.
+	Rails []RailStat
+}
+
+// Run executes main once per rank over the configured stack and cluster. It
+// returns when the simulation drains; an *vtime.DeadlockError means the MPI
+// program deadlocked (with the blocked ranks listed).
+func Run(cfg Config, main func(*Comm)) (*Report, error) {
+	if cfg.NP <= 0 {
+		return nil, fmt.Errorf("mpi: NP = %d", cfg.NP)
+	}
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	placement := cfg.Placement
+	if placement == nil {
+		placement = topo.RoundRobin(cfg.NP, cfg.Cluster.NumNodes)
+	}
+	if len(placement) != cfg.NP {
+		return nil, fmt.Errorf("mpi: placement covers %d ranks, NP = %d", len(placement), cfg.NP)
+	}
+	if err := placement.Validate(cfg.Cluster); err != nil {
+		return nil, err
+	}
+	if len(cfg.Stack.Rails) == 0 && cfg.NP > 1 && needsNetwork(placement) {
+		return nil, fmt.Errorf("mpi: stack %q has no rails but ranks span nodes", cfg.Stack.Name)
+	}
+
+	e := vtime.NewEngine()
+	net, err := simnet.New(e, cfg.Cluster.NumNodes, cfg.Stack.Rails...)
+	if err != nil {
+		return nil, err
+	}
+
+	nodes := make([]*marcel.Node, cfg.Cluster.NumNodes)
+	for i := range nodes {
+		nodes[i] = marcel.NewNode(e, fmt.Sprintf("node%d", i), cfg.Cluster.CoresPerNode)
+	}
+
+	// Shared-memory endpoints for co-located ranks.
+	eps := make([]*nemesis.Endpoint, cfg.NP)
+	for n := 0; n < cfg.Cluster.NumNodes; n++ {
+		local := placement.RanksOnNode(n)
+		if len(local) < 2 {
+			continue
+		}
+		for _, r := range local {
+			ep, err := nemesis.NewEndpoint(e, r, cfg.Stack.Shm)
+			if err != nil {
+				return nil, err
+			}
+			eps[r] = ep
+		}
+		for _, a := range local {
+			for _, b := range local {
+				if a != b {
+					eps[a].ConnectLocal(eps[b])
+				}
+			}
+		}
+	}
+
+	mgrs := make([]*pioman.Manager, cfg.NP)
+	procs := make([]*ch3.Process, cfg.NP)
+	for r := 0; r < cfg.NP; r++ {
+		node := nodes[placement.NodeOf(r)]
+		mgrs[r] = pioman.New(e, node, fmt.Sprintf("rank%d", r), cfg.Stack.PioConfig())
+		same := make([]bool, cfg.NP)
+		for q := 0; q < cfg.NP; q++ {
+			same[q] = q != r && placement.SameNode(r, q)
+		}
+		procs[r] = ch3.NewProcess(e, r, cfg.NP, mgrs[r], eps[r], same, cfg.Stack.CH3)
+	}
+
+	if err := wireBackend(cfg, e, net, placement, mgrs, procs); err != nil {
+		return nil, err
+	}
+
+	// Spawn application threads; the last rank to finish stops the progress
+	// managers so the engine can drain (MPI_Finalize semantics: a barrier
+	// precedes teardown).
+	finished := 0
+	for r := 0; r < cfg.NP; r++ {
+		r := r
+		e.Spawn(fmt.Sprintf("app%d", r), func(p *vtime.Proc) {
+			c := newComm(cfg, p, procs[r], nodes[placement.NodeOf(r)], mgrs[r])
+			main(c)
+			c.Barrier()
+			finished++
+			if finished == cfg.NP {
+				for _, m := range mgrs {
+					m.Stop()
+				}
+			}
+		})
+	}
+
+	if err := e.Run(); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Seconds: e.Now().Seconds()}
+	for _, rail := range net.Rails() {
+		rep.Rails = append(rep.Rails, RailStat{
+			Name: rail.Params.Name, Packets: rail.Packets, Bytes: rail.BytesSent,
+		})
+	}
+	return rep, nil
+}
+
+func needsNetwork(p topo.Placement) bool {
+	for i := 1; i < len(p); i++ {
+		if p[i] != p[0] {
+			return true
+		}
+	}
+	return false
+}
+
+// wireBackend instantiates the configured network backend for every rank.
+func wireBackend(cfg Config, e *vtime.Engine, net *simnet.Network,
+	placement topo.Placement, mgrs []*pioman.Manager, procs []*ch3.Process) error {
+
+	switch cfg.Stack.Backend {
+	case cluster.BackendDirect, cluster.BackendGenericNmad:
+		cores := make([]*nmad.Core, cfg.NP)
+		for r := 0; r < cfg.NP; r++ {
+			mgr := mgrs[r]
+			cores[r] = nmad.New(e, r, placement.NodeOf(r), nmad.Options{
+				Strategy:     cfg.Stack.Strategy,
+				RdvThreshold: cfg.Stack.RdvThreshold,
+				AggregMax:    cfg.Stack.AggregMax,
+				Rails:        net.Rails(),
+				MemBW:        cfg.Stack.Shm.MemBW,
+				PostTask: func(cost vtime.Duration, run func()) {
+					mgr.PostTask(pioman.Task{Cost: cost, Run: run})
+				},
+				Notify: mgr.Notify,
+			})
+			mgrs[r].Register(cores[r], pioman.ClassNet)
+		}
+		for a := 0; a < cfg.NP; a++ {
+			for b := 0; b < cfg.NP; b++ {
+				if a != b {
+					cores[a].Connect(cores[b])
+				}
+			}
+		}
+		for r := 0; r < cfg.NP; r++ {
+			if cfg.Stack.Backend == cluster.BackendDirect {
+				core.NewDirect(procs[r], cores[r], cfg.Stack.Direct)
+			} else {
+				core.NewGenericNmad(procs[r], cores[r], cfg.Stack.Packet)
+			}
+		}
+	case cluster.BackendPacket:
+		backends := make([]*core.Packet, cfg.NP)
+		for r := 0; r < cfg.NP; r++ {
+			backends[r] = core.NewPacket(procs[r], e, net, placement.NodeOf(r),
+				mgrs[r], cfg.Stack.Packet)
+		}
+		core.LinkPacketPeers(backends)
+	default:
+		return fmt.Errorf("mpi: unknown backend %d", cfg.Stack.Backend)
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package mpi
+
+import "fmt"
+
+// Win is an MPI-2 one-sided communication window — the RMA support the paper
+// lists as an open challenge ("efficiently support MPI2 RMA operations
+// without compromising the optimizations implemented", §5). This
+// implementation provides the active-target, fence-synchronized subset:
+// Put and Get accesses queued between two Fence calls are exchanged and
+// applied at the closing Fence, on top of the stack's ordinary
+// point-to-point path (so every optimization below — strategies, multirail,
+// PIOMan progress — applies to RMA traffic too).
+type Win struct {
+	c   *Comm
+	buf []byte
+
+	puts []rmaPut
+	gets []rmaGet
+}
+
+type rmaPut struct {
+	target int
+	offset int
+	data   []byte
+}
+
+type rmaGet struct {
+	target int
+	offset int
+	dst    []byte
+}
+
+// rmaCtxTag is the reserved collective-context tag space for RMA exchange.
+const (
+	rmaTagCount = 100
+	rmaTagPut   = 101
+	rmaTagGetRq = 102
+	rmaTagGetRp = 103
+)
+
+// CreateWin exposes buf as this rank's window. Collective: every rank must
+// call it in the same order. The initial epoch is open.
+func (c *Comm) CreateWin(buf []byte) *Win {
+	c.Barrier()
+	return &Win{c: c, buf: buf}
+}
+
+// Buffer returns the exposed local window memory.
+func (w *Win) Buffer() []byte { return w.buf }
+
+// Put queues a write of data into target's window at offset. It completes
+// at the next Fence. The data is captured at call time (MPI's origin-buffer
+// semantics for the simple case).
+func (w *Win) Put(target, offset int, data []byte) {
+	if target == w.c.Rank() {
+		copy(w.buf[offset:], data)
+		return
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	w.puts = append(w.puts, rmaPut{target: target, offset: offset, data: cp})
+}
+
+// Get queues a read of len(dst) bytes from target's window at offset into
+// dst. dst is valid after the next Fence.
+func (w *Win) Get(target, offset int, dst []byte) {
+	if target == w.c.Rank() {
+		copy(dst, w.buf[offset:])
+		return
+	}
+	w.gets = append(w.gets, rmaGet{target: target, offset: offset, dst: dst})
+}
+
+// header layout for RMA control messages: [kind(1) offset(4) len(4)].
+func rmaHeader(kind byte, offset, n int) []byte {
+	h := make([]byte, 9)
+	h[0] = kind
+	put32 := func(i, v int) {
+		h[i] = byte(v)
+		h[i+1] = byte(v >> 8)
+		h[i+2] = byte(v >> 16)
+		h[i+3] = byte(v >> 24)
+	}
+	put32(1, offset)
+	put32(5, n)
+	return h
+}
+
+func rmaParse(h []byte) (kind byte, offset, n int) {
+	get32 := func(i int) int {
+		return int(h[i]) | int(h[i+1])<<8 | int(h[i+2])<<16 | int(h[i+3])<<24
+	}
+	return h[0], get32(1), get32(5)
+}
+
+// Fence closes the current access epoch: all queued Puts are delivered and
+// applied at their targets, all queued Gets are answered, and all ranks
+// synchronize before the next epoch opens.
+func (w *Win) Fence() {
+	c := w.c
+	np := c.Size()
+	rank := c.Rank()
+
+	// 1. Exchange per-target operation counts so every rank knows how many
+	// incoming requests to service.
+	counts := make([]float64, np)
+	for _, p := range w.puts {
+		counts[p.target]++
+	}
+	for _, g := range w.gets {
+		counts[g.target]++
+	}
+	incoming := make([][]byte, np)
+	mine := make([][]byte, np)
+	for r := 0; r < np; r++ {
+		mine[r] = F64Bytes([]float64{counts[r]})
+		incoming[r] = make([]byte, 8)
+	}
+	c.AlltoallvBytes(mine, incoming)
+
+	expected := 0
+	for r := 0; r < np; r++ {
+		if r == rank {
+			continue
+		}
+		var v [1]float64
+		BytesF64(v[:], incoming[r])
+		expected += int(v[0])
+	}
+
+	// 2. Send our operations (deterministic order: puts then gets).
+	type pendingGet struct {
+		g  rmaGet
+		rq *Request
+	}
+	var replies []pendingGet
+	for _, p := range w.puts {
+		hdr := rmaHeader('P', p.offset, len(p.data))
+		c.Send(p.target, rmaTagPut, append(hdr, p.data...))
+	}
+	for _, g := range w.gets {
+		// Post the reply receive before issuing the request.
+		rq := c.Irecv(g.target, rmaTagGetRp, g.dst)
+		c.Send(g.target, rmaTagGetRq, rmaHeader('G', g.offset, len(g.dst)))
+		replies = append(replies, pendingGet{g: g, rq: rq})
+	}
+
+	// 3. Service incoming operations.
+	for i := 0; i < expected; i++ {
+		buf := make([]byte, len(w.buf)+16)
+		st := c.Recv(AnySource, AnyTag, buf)
+		switch st.Tag {
+		case rmaTagPut:
+			_, off, n := rmaParse(buf)
+			copy(w.buf[off:off+n], buf[9:9+n])
+		case rmaTagGetRq:
+			_, off, n := rmaParse(buf)
+			c.Send(st.Source, rmaTagGetRp, w.buf[off:off+n])
+		default:
+			panic(fmt.Sprintf("mpi: unexpected RMA tag %d", st.Tag))
+		}
+	}
+
+	// 4. Complete our gets and synchronize the epoch boundary.
+	for _, pg := range replies {
+		c.Wait(pg.rq)
+	}
+	w.puts = nil
+	w.gets = nil
+	c.Barrier()
+}
