@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/cluster"
+	"repro/internal/topo"
+	"repro/mpi"
+)
+
+// NbcOverlapOptions tunes the collective-overlap benchmark: every rank
+// starts a nonblocking allreduce, computes for ComputeUS microseconds, then
+// waits — against the blocking sequence (allreduce, then the same compute).
+// A stack whose progress engine advances the schedule in the background
+// hides the collective behind the computation; a progress-less stack pays
+// both in full.
+type NbcOverlapOptions struct {
+	// Elems is the allreduce vector length in float64 elements (8 bytes
+	// each: 4096 elements = 32 KB on the wire, the eager/rendezvous switch
+	// point of the nmad stacks).
+	Elems int
+	// ComputeUS is the computation injected between start and wait.
+	ComputeUS float64
+	// Iters averages over this many repetitions.
+	Iters int
+	// NP is the number of ranks (default 2, one per node).
+	NP int
+}
+
+func (o NbcOverlapOptions) withDefaults() NbcOverlapOptions {
+	if o.Elems == 0 {
+		o.Elems = 4096
+	}
+	if o.ComputeUS == 0 {
+		// A zero compute window leaves nothing to overlap and every ratio
+		// degenerates to 0; default to a window comparable to a mid-size
+		// collective. Pass a tiny value (e.g. 0.001) for a no-compute probe.
+		o.ComputeUS = 300
+	}
+	if o.Iters == 0 {
+		o.Iters = 5
+	}
+	if o.NP == 0 {
+		o.NP = 2
+	}
+	return o
+}
+
+// NbcOverlapResult reports one configuration's timings (seconds, averaged).
+type NbcOverlapResult struct {
+	// Blocking is AllreduceF64 followed by Compute.
+	Blocking float64
+	// Nonblocking is IallreduceF64 + Compute + Wait.
+	Nonblocking float64
+	// CommOnly is the collective alone.
+	CommOnly float64
+	// Compute is the injected computation time.
+	Compute float64
+}
+
+// OverlapRatio is the fraction of the hideable time actually hidden:
+// (blocking − nonblocking) / min(comm, compute). 0 means no overlap, 1 means
+// the shorter of the two costs disappeared entirely.
+func (r NbcOverlapResult) OverlapRatio() float64 {
+	hideable := r.CommOnly
+	if r.Compute < hideable {
+		hideable = r.Compute
+	}
+	if hideable <= 0 {
+		return 0
+	}
+	ratio := (r.Blocking - r.Nonblocking) / hideable
+	if ratio < 0 {
+		return 0
+	}
+	return ratio
+}
+
+// NbcOverlapOnce measures one stack at one vector size.
+func NbcOverlapOnce(stack cluster.Stack, o NbcOverlapOptions) (NbcOverlapResult, error) {
+	o = o.withDefaults()
+	cfg := mpi.Config{
+		Cluster: cluster.Xeon2(),
+		Stack:   stack,
+		NP:      o.NP,
+		// One rank per node first, so the collective crosses the rails.
+		Placement: topo.RoundRobin(o.NP, cluster.Xeon2().NumNodes),
+	}
+	res := NbcOverlapResult{Compute: o.ComputeUS * 1e-6}
+	var comm, blk, nbc float64
+	_, err := mpi.Run(cfg, func(c *mpi.Comm) {
+		x := make([]float64, o.Elems)
+		for i := range x {
+			x[i] = float64(c.Rank() + i)
+		}
+		measure := func(f func()) float64 {
+			var total float64
+			for i := 0; i < o.Iters; i++ {
+				c.Barrier()
+				t0 := c.Wtime()
+				f()
+				total += c.Wtime() - t0
+			}
+			return total / float64(o.Iters)
+		}
+		// Warmup: one full collective so connections and buffers settle.
+		c.AllreduceF64(x, mpi.OpSum)
+
+		co := measure(func() { c.AllreduceF64(x, mpi.OpSum) })
+		bl := measure(func() {
+			c.AllreduceF64(x, mpi.OpSum)
+			c.Compute(o.ComputeUS * 1e-6)
+		})
+		nb := measure(func() {
+			q := c.IallreduceF64(x, mpi.OpSum)
+			c.Compute(o.ComputeUS * 1e-6)
+			c.Wait(q)
+		})
+		if c.Rank() == 0 {
+			comm, blk, nbc = co, bl, nb
+		}
+	})
+	if err != nil {
+		return res, err
+	}
+	res.CommOnly, res.Blocking, res.Nonblocking = comm, blk, nbc
+	return res, nil
+}
+
+// NbcOverlapSweep measures a stack across vector sizes and returns a series
+// of overlap ratios (X = payload bytes, Y = ratio).
+func NbcOverlapSweep(stack cluster.Stack, elemSizes []int, o NbcOverlapOptions) (Series, error) {
+	s := Series{Label: stack.Name}
+	for _, elems := range elemSizes {
+		oo := o
+		oo.Elems = elems
+		r, err := NbcOverlapOnce(stack, oo)
+		if err != nil {
+			return s, fmt.Errorf("%s elems %d: %w", stack.Name, elems, err)
+		}
+		s.Add(float64(8*elems), r.OverlapRatio())
+	}
+	return s, nil
+}

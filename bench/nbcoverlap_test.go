@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/cluster"
+)
+
+// TestNbcOverlapPIOManWins pins the tentpole claim at benchmark level: the
+// PIOMan-enabled stack hides a strictly larger fraction of the collective
+// behind computation than the same stack without the progress thread.
+func TestNbcOverlapPIOManWins(t *testing.T) {
+	o := NbcOverlapOptions{Elems: 32 << 10, ComputeUS: 300, Iters: 2}
+	base := cluster.MPICH2NmadIB()
+
+	plain, err := NbcOverlapOnce(base, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pio, err := NbcOverlapOnce(base.WithPIOMan(true), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pio.OverlapRatio() <= plain.OverlapRatio() {
+		t.Fatalf("pioman overlap %.2f not above plain %.2f",
+			pio.OverlapRatio(), plain.OverlapRatio())
+	}
+	if pio.OverlapRatio() < 0.5 {
+		t.Fatalf("pioman hides only %.0f%% of the collective", 100*pio.OverlapRatio())
+	}
+	// Sanity: the blocking sequence is never cheaper than its parts.
+	if plain.Blocking < plain.CommOnly || plain.Blocking < plain.Compute {
+		t.Fatalf("inconsistent blocking measurement: %+v", plain)
+	}
+}
+
+// TestNbcOverlapSweepShape: the sweep returns one ratio in [0, 1] per size.
+func TestNbcOverlapSweepShape(t *testing.T) {
+	s, err := NbcOverlapSweep(cluster.MPICH2NmadIB().WithPIOMan(true),
+		[]int{512, 4 << 10}, NbcOverlapOptions{ComputeUS: 100, Iters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("sweep points = %d", len(s.Points))
+	}
+	for _, p := range s.Points {
+		if p.Y < 0 || p.Y > 1.5 {
+			t.Fatalf("ratio out of range at %g: %g", p.X, p.Y)
+		}
+	}
+}

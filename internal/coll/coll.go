@@ -60,190 +60,41 @@ func BytesF64(dst []float64, b []byte) {
 
 // Barrier is a dissemination barrier: ceil(log2(n)) rounds of exchanges.
 func Barrier(p PtPt, tag int32) {
-	n := p.Size()
-	if n == 1 {
-		return
-	}
-	rank := p.Rank()
-	for k := 1; k < n; k <<= 1 {
-		dst := (rank + k) % n
-		src := (rank - k + n) % n
-		p.SendRecvT(dst, nil, src, nil, tag)
-	}
+	ExecBlocking(p, BuildBarrier(p.Rank(), p.Size()), tag)
 }
 
 // Bcast distributes data (in place) from root with a binomial tree.
 func Bcast(p PtPt, root int, data []byte, tag int32) {
-	n := p.Size()
-	if n == 1 {
-		return
-	}
-	rank := p.Rank()
-	vr := (rank - root + n) % n
-	mask := 1
-	for mask < n {
-		if vr&mask != 0 {
-			src := (vr - mask + root + n) % n
-			p.RecvT(src, tag, data)
-			break
-		}
-		mask <<= 1
-	}
-	mask >>= 1
-	for mask > 0 {
-		if vr+mask < n {
-			dst := (vr + mask + root) % n
-			p.SendT(dst, tag, data)
-		}
-		mask >>= 1
-	}
+	ExecBlocking(p, BuildBcast(p.Rank(), p.Size(), root, data), tag)
 }
 
 // Reduce combines x from all ranks into root's x with a binomial tree over
 // relative ranks. The operator must be commutative.
 func Reduce(p PtPt, root int, x []float64, op Op, tag int32) {
-	n := p.Size()
-	if n == 1 {
-		return
-	}
-	rank := p.Rank()
-	vr := (rank - root + n) % n
-	tmp := make([]float64, len(x))
-	rbuf := make([]byte, 8*len(x))
-	mask := 1
-	for mask < n {
-		if vr&mask == 0 {
-			src := vr | mask
-			if src < n {
-				real := (src + root) % n
-				p.RecvT(real, tag, rbuf)
-				BytesF64(tmp, rbuf)
-				for i := range x {
-					x[i] = op(x[i], tmp[i])
-				}
-			}
-		} else {
-			dst := ((vr &^ mask) + root) % n
-			p.SendT(dst, tag, F64Bytes(x))
-			return
-		}
-		mask <<= 1
-	}
+	ExecBlocking(p, BuildReduce(p.Rank(), p.Size(), root, x, op), tag)
 }
 
 // Allreduce combines x across all ranks in place: recursive doubling with
 // the standard pre/post phase for non-power-of-two sizes. The operator must
 // be commutative.
 func Allreduce(p PtPt, x []float64, op Op, tag int32) {
-	n := p.Size()
-	if n == 1 {
-		return
-	}
-	rank := p.Rank()
-	pof2 := 1
-	for pof2*2 <= n {
-		pof2 *= 2
-	}
-	rem := n - pof2
-	tmp := make([]float64, len(x))
-	rbuf := make([]byte, 8*len(x))
-
-	newrank := -1
-	switch {
-	case rank < 2*rem && rank%2 == 0:
-		p.SendT(rank+1, tag, F64Bytes(x))
-	case rank < 2*rem:
-		p.RecvT(rank-1, tag, rbuf)
-		BytesF64(tmp, rbuf)
-		for i := range x {
-			x[i] = op(x[i], tmp[i])
-		}
-		newrank = rank / 2
-	default:
-		newrank = rank - rem
-	}
-
-	if newrank != -1 {
-		for mask := 1; mask < pof2; mask <<= 1 {
-			partner := newrank ^ mask
-			var real int
-			if partner < rem {
-				real = partner*2 + 1
-			} else {
-				real = partner + rem
-			}
-			p.SendRecvT(real, F64Bytes(x), real, rbuf, tag)
-			BytesF64(tmp, rbuf)
-			for i := range x {
-				x[i] = op(x[i], tmp[i])
-			}
-		}
-	}
-
-	if rank < 2*rem {
-		if rank%2 == 0 {
-			p.RecvT(rank+1, tag, rbuf)
-			BytesF64(x, rbuf)
-		} else {
-			p.SendT(rank-1, tag, F64Bytes(x))
-		}
-	}
+	ExecBlocking(p, BuildAllreduce(p.Rank(), p.Size(), x, op), tag)
 }
 
 // Allgather collects each rank's block into out (out[r] holds rank r's
 // contribution; out[rank] is filled from mine) using a ring.
 func Allgather(p PtPt, mine []byte, out [][]byte, tag int32) {
-	n := p.Size()
-	rank := p.Rank()
-	copy(out[rank], mine)
-	if n == 1 {
-		return
-	}
-	right := (rank + 1) % n
-	left := (rank - 1 + n) % n
-	for step := 0; step < n-1; step++ {
-		sendIdx := (rank - step + n) % n
-		recvIdx := (rank - step - 1 + n) % n
-		p.SendRecvT(right, out[sendIdx], left, out[recvIdx], tag)
-	}
+	ExecBlocking(p, BuildAllgather(p.Rank(), p.Size(), mine, out), tag)
 }
 
 // Alltoall exchanges send[r] → rank r, landing in recv[s] from rank s,
 // with a pairwise-exchange schedule (XOR pattern for power-of-two sizes,
 // rotated shifts otherwise).
 func Alltoall(p PtPt, send, recv [][]byte, tag int32) {
-	n := p.Size()
-	rank := p.Rank()
-	copy(recv[rank], send[rank])
-	if n == 1 {
-		return
-	}
-	if n&(n-1) == 0 {
-		for i := 1; i < n; i++ {
-			partner := rank ^ i
-			p.SendRecvT(partner, send[partner], partner, recv[partner], tag)
-		}
-		return
-	}
-	for i := 1; i < n; i++ {
-		dst := (rank + i) % n
-		src := (rank - i + n) % n
-		p.SendRecvT(dst, send[dst], src, recv[src], tag)
-	}
+	ExecBlocking(p, BuildAlltoall(p.Rank(), p.Size(), send, recv), tag)
 }
 
 // Gather collects each rank's block at root (out[r] is filled on root only).
 func Gather(p PtPt, root int, mine []byte, out [][]byte, tag int32) {
-	n := p.Size()
-	rank := p.Rank()
-	if rank == root {
-		copy(out[rank], mine)
-		for r := 0; r < n; r++ {
-			if r != root {
-				p.RecvT(r, tag, out[r])
-			}
-		}
-		return
-	}
-	p.SendT(root, tag, mine)
+	ExecBlocking(p, BuildGather(p.Rank(), p.Size(), root, mine, out), tag)
 }

@@ -1,0 +1,558 @@
+package coll
+
+// This file expresses the collective algorithm set as *schedules*: per-rank
+// programs of rounds, each round holding point-to-point transfers (send/recv
+// prims) followed by local data movement (copy/reduce/decode prims). The same
+// schedule drives two executors:
+//
+//   - ExecBlocking walks the rounds synchronously over a PtPt substrate —
+//     this is the classic blocking collective path and produces exactly the
+//     SendT/RecvT/SendRecvT call sequence of the historical implementations;
+//   - the nonblocking engine in internal/nbc issues a round's transfers as
+//     nonblocking requests and advances to the next round from the progress
+//     engine (PIOMan) when they complete, which is what lets a collective
+//     overlap with computation (libNBC-style, progressed per §3.3).
+//
+// Rounds sequence only the *local* rank: matching between ranks is by
+// (source, tag) as usual, so peers may run ahead by a round; their traffic
+// waits in the unexpected queues until the local schedule catches up.
+
+// PrimKind discriminates schedule primitives.
+type PrimKind uint8
+
+const (
+	// PrimSend transfers Data (or the lazily encoded AccF64) to Peer.
+	PrimSend PrimKind = iota
+	// PrimRecv receives from Peer into Buf.
+	PrimRecv
+	// PrimCopy copies Src into Dst locally.
+	PrimCopy
+	// PrimReduce folds the float64 vector encoded in In into AccF64 with Op.
+	PrimReduce
+	// PrimDecode overwrites AccF64 with the float64 vector encoded in In.
+	PrimDecode
+)
+
+// Prim is one schedule primitive. Only the fields of its kind are set.
+type Prim struct {
+	Kind PrimKind
+	// Peer is the destination (send) or source (recv) rank.
+	Peer int
+	// Data is a static send payload, captured at build time.
+	Data []byte
+	// AccF64 is a float64 vector: for sends it is encoded at round start
+	// (payloads that earlier rounds mutate must be lazy); for reduce/decode
+	// it is the accumulator written in place.
+	AccF64 []float64
+	// Buf is the receive buffer.
+	Buf []byte
+	// Src/Dst are the copy operands.
+	Src, Dst []byte
+	// In is the reduce/decode input (bytes holding a float64 vector).
+	In []byte
+	// Op is the reduction operator.
+	Op Op
+}
+
+// Round is one schedule step: the transfers of Comm all complete before the
+// Local prims run, and the next round starts only after both.
+type Round struct {
+	Comm  []Prim
+	Local []Prim
+}
+
+// Schedule is one rank's compiled collective.
+type Schedule struct {
+	Rounds []Round
+}
+
+// round appends and returns a fresh round.
+func (s *Schedule) round() *Round {
+	s.Rounds = append(s.Rounds, Round{})
+	return &s.Rounds[len(s.Rounds)-1]
+}
+
+// SendPayload materializes a send prim's wire bytes.
+func SendPayload(pr *Prim) []byte {
+	if pr.AccF64 != nil {
+		return F64Bytes(pr.AccF64)
+	}
+	return pr.Data
+}
+
+// RunLocal executes a local prim.
+func RunLocal(pr *Prim) {
+	switch pr.Kind {
+	case PrimCopy:
+		copy(pr.Dst, pr.Src)
+	case PrimReduce:
+		for i := range pr.AccF64 {
+			pr.AccF64[i] = pr.Op(pr.AccF64[i], f64At(pr.In, i))
+		}
+	case PrimDecode:
+		BytesF64(pr.AccF64, pr.In)
+	}
+}
+
+// ExecBlocking runs the schedule synchronously over p with the given tag.
+// A round holding exactly one send and one recv becomes a SendRecvT exchange
+// (deadlock-free); otherwise sends are issued before receives.
+func ExecBlocking(p PtPt, s *Schedule, tag int32) {
+	for ri := range s.Rounds {
+		rd := &s.Rounds[ri]
+		var send, recv *Prim
+		multi := false
+		for i := range rd.Comm {
+			pr := &rd.Comm[i]
+			if pr.Kind == PrimSend {
+				if send != nil {
+					multi = true
+				}
+				send = pr
+			} else {
+				if recv != nil {
+					multi = true
+				}
+				recv = pr
+			}
+		}
+		if !multi && send != nil && recv != nil {
+			p.SendRecvT(send.Peer, SendPayload(send), recv.Peer, recv.Buf, tag)
+		} else {
+			for i := range rd.Comm {
+				if pr := &rd.Comm[i]; pr.Kind == PrimSend {
+					p.SendT(pr.Peer, tag, SendPayload(pr))
+				}
+			}
+			for i := range rd.Comm {
+				if pr := &rd.Comm[i]; pr.Kind == PrimRecv {
+					p.RecvT(pr.Peer, tag, pr.Buf)
+				}
+			}
+		}
+		for i := range rd.Local {
+			RunLocal(&rd.Local[i])
+		}
+	}
+}
+
+// ---- prim constructors -----------------------------------------------------
+
+func sendP(peer int, data []byte) Prim    { return Prim{Kind: PrimSend, Peer: peer, Data: data} }
+func sendF64(peer int, x []float64) Prim  { return Prim{Kind: PrimSend, Peer: peer, AccF64: x} }
+func recvP(peer int, buf []byte) Prim     { return Prim{Kind: PrimRecv, Peer: peer, Buf: buf} }
+func copyP(dst, src []byte) Prim          { return Prim{Kind: PrimCopy, Dst: dst, Src: src} }
+func decodeP(x []float64, in []byte) Prim { return Prim{Kind: PrimDecode, AccF64: x, In: in} }
+func reduceP(x []float64, in []byte, op Op) Prim {
+	return Prim{Kind: PrimReduce, AccF64: x, In: in, Op: op}
+}
+
+// ---- flat builders (the classic MPICH2 algorithm set) ----------------------
+
+// BuildBarrier compiles a dissemination barrier: ceil(log2(n)) rounds of
+// zero-byte exchanges.
+func BuildBarrier(rank, size int) *Schedule {
+	s := &Schedule{}
+	if size == 1 {
+		return s
+	}
+	for k := 1; k < size; k <<= 1 {
+		rd := s.round()
+		rd.Comm = append(rd.Comm,
+			sendP((rank+k)%size, nil),
+			recvP((rank-k+size)%size, nil))
+	}
+	return s
+}
+
+// BuildBcast compiles a binomial-tree broadcast of data (in place) from root.
+func BuildBcast(rank, size, root int, data []byte) *Schedule {
+	s := &Schedule{}
+	if size == 1 {
+		return s
+	}
+	binomialBcastBytes(s, identityGroup(size), root, rank, data)
+	return s
+}
+
+// BuildReduce compiles a binomial-tree reduction of x into root's x over
+// relative ranks. The operator must be commutative.
+func BuildReduce(rank, size, root int, x []float64, op Op) *Schedule {
+	s := &Schedule{}
+	if size == 1 {
+		return s
+	}
+	binomialReduce(s, identityGroup(size), root, rank, x, op)
+	return s
+}
+
+// BuildAllreduce compiles recursive doubling with the standard pre/post
+// phases for non-power-of-two sizes. The operator must be commutative.
+func BuildAllreduce(rank, size int, x []float64, op Op) *Schedule {
+	s := &Schedule{}
+	if size == 1 {
+		return s
+	}
+	rdAllreduce(s, identityGroup(size), rank, x, op)
+	return s
+}
+
+// BuildAllgather compiles the ring allgather: out[r] receives rank r's block.
+func BuildAllgather(rank, size int, mine []byte, out [][]byte) *Schedule {
+	s := &Schedule{}
+	rd := s.round()
+	rd.Local = append(rd.Local, copyP(out[rank], mine))
+	if size == 1 {
+		return s
+	}
+	right := (rank + 1) % size
+	left := (rank - 1 + size) % size
+	for step := 0; step < size-1; step++ {
+		sendIdx := (rank - step + size) % size
+		recvIdx := (rank - step - 1 + size) % size
+		rd := s.round()
+		rd.Comm = append(rd.Comm, sendP(right, out[sendIdx]), recvP(left, out[recvIdx]))
+	}
+	return s
+}
+
+// BuildAlltoall compiles the pairwise-exchange alltoall (XOR pattern for
+// power-of-two sizes, rotated shifts otherwise).
+func BuildAlltoall(rank, size int, send, recv [][]byte) *Schedule {
+	s := &Schedule{}
+	rd := s.round()
+	rd.Local = append(rd.Local, copyP(recv[rank], send[rank]))
+	if size == 1 {
+		return s
+	}
+	if size&(size-1) == 0 {
+		for i := 1; i < size; i++ {
+			partner := rank ^ i
+			rd := s.round()
+			rd.Comm = append(rd.Comm, sendP(partner, send[partner]), recvP(partner, recv[partner]))
+		}
+		return s
+	}
+	for i := 1; i < size; i++ {
+		dst := (rank + i) % size
+		src := (rank - i + size) % size
+		rd := s.round()
+		rd.Comm = append(rd.Comm, sendP(dst, send[dst]), recvP(src, recv[src]))
+	}
+	return s
+}
+
+// BuildGather compiles the linear gather at root (out[r] filled on root only).
+func BuildGather(rank, size, root int, mine []byte, out [][]byte) *Schedule {
+	s := &Schedule{}
+	if rank == root {
+		rd := s.round()
+		rd.Local = append(rd.Local, copyP(out[rank], mine))
+		if size == 1 {
+			return s
+		}
+		crd := s.round()
+		for r := 0; r < size; r++ {
+			if r != root {
+				crd.Comm = append(crd.Comm, recvP(r, out[r]))
+			}
+		}
+		return s
+	}
+	rd := s.round()
+	rd.Comm = append(rd.Comm, sendP(root, mine))
+	return s
+}
+
+// ---- group-relative building blocks ----------------------------------------
+
+// identityGroup returns [0, 1, ..., n-1].
+func identityGroup(n int) []int {
+	g := make([]int, n)
+	for i := range g {
+		g[i] = i
+	}
+	return g
+}
+
+// indexIn returns the position of rank in group, or -1.
+func indexIn(group []int, rank int) int {
+	for i, r := range group {
+		if r == rank {
+			return i
+		}
+	}
+	return -1
+}
+
+// binomialBcast appends rank me's rounds of a binomial broadcast over the
+// ranks of group, rooted at group member root. mkSend builds the forwarding
+// prim toward a peer; mkRecv builds the receive prim (plus optional local
+// prims to run after it). Ranks outside group get no rounds.
+func binomialBcast(s *Schedule, group []int, root, me int,
+	mkSend func(peer int) Prim, mkRecv func(peer int) (Prim, []Prim)) {
+
+	m := len(group)
+	idx := indexIn(group, me)
+	rootIdx := indexIn(group, root)
+	if idx < 0 || m <= 1 {
+		return
+	}
+	vr := (idx - rootIdx + m) % m
+	mask := 1
+	for mask < m {
+		if vr&mask != 0 {
+			src := group[(vr-mask+rootIdx+m)%m]
+			rd := s.round()
+			pr, locals := mkRecv(src)
+			rd.Comm = append(rd.Comm, pr)
+			rd.Local = append(rd.Local, locals...)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vr+mask < m {
+			dst := group[(vr+mask+rootIdx)%m]
+			rd := s.round()
+			rd.Comm = append(rd.Comm, mkSend(dst))
+		}
+		mask >>= 1
+	}
+}
+
+// binomialBcastBytes broadcasts a byte buffer (in place) over group from
+// root: receivers land directly in data and forward the same buffer.
+func binomialBcastBytes(s *Schedule, group []int, root, me int, data []byte) {
+	binomialBcast(s, group, root, me, func(peer int) Prim {
+		return sendP(peer, data)
+	}, func(peer int) (Prim, []Prim) {
+		return recvP(peer, data), nil
+	})
+}
+
+// binomialBcastF64 broadcasts the float64 vector x over group from root:
+// receivers land bytes in a scratch buffer, decode into x, and forward x
+// lazily so intermediate tree nodes relay what they received.
+func binomialBcastF64(s *Schedule, group []int, root, me int, x []float64) {
+	scratch := make([]byte, 8*len(x))
+	binomialBcast(s, group, root, me, func(peer int) Prim {
+		return sendF64(peer, x)
+	}, func(peer int) (Prim, []Prim) {
+		return recvP(peer, scratch), []Prim{decodeP(x, scratch)}
+	})
+}
+
+// binomialReduce appends rank me's rounds of a binomial-tree reduction of x
+// into group-member root's x (clobbered elsewhere). Commutative op only.
+func binomialReduce(s *Schedule, group []int, root, me int, x []float64, op Op) {
+	m := len(group)
+	idx := indexIn(group, me)
+	rootIdx := indexIn(group, root)
+	if idx < 0 || m <= 1 {
+		return
+	}
+	vr := (idx - rootIdx + m) % m
+	rbuf := make([]byte, 8*len(x))
+	mask := 1
+	for mask < m {
+		if vr&mask == 0 {
+			src := vr | mask
+			if src < m {
+				rd := s.round()
+				rd.Comm = append(rd.Comm, recvP(group[(src+rootIdx)%m], rbuf))
+				rd.Local = append(rd.Local, reduceP(x, rbuf, op))
+			}
+		} else {
+			dst := group[((vr&^mask)+rootIdx)%m]
+			rd := s.round()
+			rd.Comm = append(rd.Comm, sendF64(dst, x))
+			return
+		}
+		mask <<= 1
+	}
+}
+
+// rdAllreduce appends rank me's rounds of a recursive-doubling allreduce of x
+// over group, with the standard pre/post phases when len(group) is not a
+// power of two. Commutative op only.
+func rdAllreduce(s *Schedule, group []int, me int, x []float64, op Op) {
+	m := len(group)
+	idx := indexIn(group, me)
+	if idx < 0 || m <= 1 {
+		return
+	}
+	pof2 := 1
+	for pof2*2 <= m {
+		pof2 *= 2
+	}
+	rem := m - pof2
+	rbuf := make([]byte, 8*len(x))
+
+	newrank := -1
+	switch {
+	case idx < 2*rem && idx%2 == 0:
+		rd := s.round()
+		rd.Comm = append(rd.Comm, sendF64(group[idx+1], x))
+	case idx < 2*rem:
+		rd := s.round()
+		rd.Comm = append(rd.Comm, recvP(group[idx-1], rbuf))
+		rd.Local = append(rd.Local, reduceP(x, rbuf, op))
+		newrank = idx / 2
+	default:
+		newrank = idx - rem
+	}
+
+	if newrank != -1 {
+		for mask := 1; mask < pof2; mask <<= 1 {
+			partner := newrank ^ mask
+			var real int
+			if partner < rem {
+				real = partner*2 + 1
+			} else {
+				real = partner + rem
+			}
+			rd := s.round()
+			rd.Comm = append(rd.Comm, sendF64(group[real], x), recvP(group[real], rbuf))
+			rd.Local = append(rd.Local, reduceP(x, rbuf, op))
+		}
+	}
+
+	if idx < 2*rem {
+		rd := s.round()
+		if idx%2 == 0 {
+			rd.Comm = append(rd.Comm, recvP(group[idx+1], rbuf))
+			rd.Local = append(rd.Local, decodeP(x, rbuf))
+		} else {
+			rd.Comm = append(rd.Comm, sendF64(group[idx-1], x))
+		}
+	}
+}
+
+// ---- topology-aware two-level builders --------------------------------------
+//
+// The two-level variants split a collective into an intra-node phase over the
+// shared-memory channel and an inter-node phase among per-node leaders over
+// the network rails, following the placement of ranks onto nodes. They shine
+// when several ranks share a node: only one rank per node touches the NIC.
+
+// leadersOf returns one leader rank per populated node (ascending node id)
+// and the local rank group of rank's own node. When root >= 0 and shares a
+// node with rank's view of the placement, root is promoted to leader of its
+// node so rooted operations need no extra hop.
+func leadersOf(nodes []int, root int) (leaders []int, byNode map[int][]int) {
+	byNode = make(map[int][]int)
+	maxNode := 0
+	for r, n := range nodes {
+		byNode[n] = append(byNode[n], r)
+		if n > maxNode {
+			maxNode = n
+		}
+	}
+	for n := 0; n <= maxNode; n++ {
+		if _, ok := byNode[n]; ok {
+			leaders = append(leaders, leaderFor(nodes, byNode, root, byNode[n][0]))
+		}
+	}
+	return leaders, byNode
+}
+
+// leaderFor returns the leader of rank's node under the same promotion rule
+// leadersOf applies — the single site defining leader election.
+func leaderFor(nodes []int, byNode map[int][]int, root, rank int) int {
+	if root >= 0 && nodes[root] == nodes[rank] {
+		return root
+	}
+	return byNode[nodes[rank]][0]
+}
+
+// BuildBarrierTwoLevel compiles a hierarchical barrier: locals check in with
+// their node leader over shared memory, leaders run a dissemination barrier
+// over the network, then leaders release their locals.
+func BuildBarrierTwoLevel(rank int, nodes []int) *Schedule {
+	s := &Schedule{}
+	size := len(nodes)
+	if size == 1 {
+		return s
+	}
+	leaders, byNode := leadersOf(nodes, -1)
+	local := byNode[nodes[rank]]
+	lead := leaderFor(nodes, byNode, -1, rank)
+
+	if rank != lead {
+		rd := s.round()
+		rd.Comm = append(rd.Comm, sendP(lead, nil))
+	} else if len(local) > 1 {
+		rd := s.round()
+		for _, r := range local {
+			if r != lead {
+				rd.Comm = append(rd.Comm, recvP(r, nil))
+			}
+		}
+	}
+
+	if rank == lead && len(leaders) > 1 {
+		li := indexIn(leaders, lead)
+		m := len(leaders)
+		for k := 1; k < m; k <<= 1 {
+			rd := s.round()
+			rd.Comm = append(rd.Comm,
+				sendP(leaders[(li+k)%m], nil),
+				recvP(leaders[(li-k+m)%m], nil))
+		}
+	}
+
+	if rank != lead {
+		rd := s.round()
+		rd.Comm = append(rd.Comm, recvP(lead, nil))
+	} else if len(local) > 1 {
+		rd := s.round()
+		for _, r := range local {
+			if r != lead {
+				rd.Comm = append(rd.Comm, sendP(r, nil))
+			}
+		}
+	}
+	return s
+}
+
+// BuildBcastTwoLevel compiles a hierarchical broadcast: root feeds the
+// per-node leaders with a binomial tree over the network, each leader then
+// broadcasts over shared memory inside its node.
+func BuildBcastTwoLevel(rank int, nodes []int, root int, data []byte) *Schedule {
+	s := &Schedule{}
+	if len(nodes) == 1 {
+		return s
+	}
+	leaders, byNode := leadersOf(nodes, root)
+	binomialBcastBytes(s, leaders, root, rank, data)
+	local := byNode[nodes[rank]]
+	binomialBcastBytes(s, local, leaderFor(nodes, byNode, root, rank), rank, data)
+	return s
+}
+
+// BuildAllreduceTwoLevel compiles a hierarchical allreduce: binomial reduce
+// to the node leader over shared memory, recursive-doubling allreduce among
+// leaders over the network, binomial broadcast of the result back over
+// shared memory. Commutative op only.
+func BuildAllreduceTwoLevel(rank int, nodes []int, x []float64, op Op) *Schedule {
+	s := &Schedule{}
+	if len(nodes) == 1 {
+		return s
+	}
+	leaders, byNode := leadersOf(nodes, -1)
+	local := byNode[nodes[rank]]
+	lead := leaderFor(nodes, byNode, -1, rank)
+	binomialReduce(s, local, lead, rank, x, op)
+	rdAllreduce(s, leaders, rank, x, op)
+	binomialBcastF64(s, local, lead, rank, x)
+	return s
+}
+
+// f64At decodes the i-th float64 of a wire-encoded vector.
+func f64At(b []byte, i int) float64 {
+	var v [1]float64
+	BytesF64(v[:], b[8*i:])
+	return v[0]
+}

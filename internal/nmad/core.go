@@ -70,7 +70,10 @@ type Gate struct {
 	PeerRank int
 	peerNode int
 
-	outlist   []*Request // packs awaiting strategy scheduling, FIFO
+	outlist []*Request // packs awaiting strategy scheduling, FIFO
+	// sendFifo holds posted-but-uncompleted sends per tag, in submission
+	// order (the completion-ordering guarantee of finishSend).
+	sendFifo  map[uint64][]*Request
 	nextSeq   uint32
 	idleArmed bool
 }
@@ -182,8 +185,42 @@ func (c *Core) ISend(g *Gate, tag uint64, data []byte) *Request {
 		c.sendRdv[r.id] = r
 	}
 	g.outlist = append(g.outlist, r)
+	if g.sendFifo == nil {
+		g.sendFifo = make(map[uint64][]*Request)
+	}
+	g.sendFifo[r.tag] = append(g.sendFifo[r.tag], r)
 	c.kick(g)
 	return r
+}
+
+// finishSend marks a send request's protocol work as done and completes
+// same-tag sends on the gate in FIFO submission order. Without this, a small
+// eager pack submitted after a large rendezvous pack on the same (gate, tag)
+// stream would complete at NIC drain while the rendezvous handshake is still
+// in flight — the caller could then stop progressing the library (e.g.
+// MPI_Wait on the last send of the stream returning), deadlocking the
+// earlier transfer. The ordering is scoped per tag: packs on *different*
+// tags (e.g. a collective riding a separate context) complete independently,
+// since gating them would deadlock legal patterns like Isend(rendezvous)
+// followed by a barrier whose completion the peer's matching receive waits
+// behind.
+func (c *Core) finishSend(r *Request) {
+	r.finished = true
+	g, tag := r.gate, r.tag
+	for {
+		q := g.sendFifo[tag]
+		if len(q) == 0 || !q[0].finished {
+			return
+		}
+		if len(q) == 1 {
+			delete(g.sendFifo, tag)
+		} else {
+			g.sendFifo[tag] = q[1:]
+		}
+		// Pop before completing: the callback may post new sends on this
+		// tag or re-enter finishSend.
+		q[0].complete()
+	}
 }
 
 // IRecv posts a receive. A nil gate means "any gate" (any source); mask
@@ -285,13 +322,16 @@ func (c *Core) startRdvRecv(r *Request, g *Gate, tag uint64, msgLen int, packID 
 		n = len(r.buf)
 	}
 	r.status = Status{Peer: g.PeerRank, Tag: tag, Len: n, Truncated: n < msgLen}
-	c.recvRdv[id] = &rdvRecv{req: r, remaining: n}
 	c.RdvStarted++
 	if n == 0 {
-		delete(c.recvRdv, id)
+		// Zero-byte grant: the receive completes with truncation, but the
+		// CTS must still flow so the sender's request can finish (its
+		// payload is simply never transmitted).
 		r.complete()
+		c.sendControl(g, Entry{Kind: EntryCTS, Tag: tag, PackID: packID, RecvID: id, MsgLen: 0})
 		return
 	}
+	c.recvRdv[id] = &rdvRecv{req: r, remaining: n}
 	// CTS travels back over the same gate (it connects us to the sender).
 	c.sendControl(g, Entry{Kind: EntryCTS, Tag: tag, PackID: packID, RecvID: id, MsgLen: n})
 }
@@ -397,7 +437,7 @@ func (c *Core) submit(g *Gate, pw *Packet, railIdx int, sends []*Request, cached
 		if len(eager) > 0 {
 			c.e.At(rail.TxIdleAt(from), func() {
 				for _, s := range eager {
-					s.complete()
+					c.finishSend(s)
 				}
 				c.opt.Notify()
 			})
@@ -506,6 +546,12 @@ func (c *Core) handleEntry(fromRank int, en Entry) vtime.Duration {
 // submits the data chunks. grant is the number of bytes the receiver can
 // accept (its buffer may be shorter than the message).
 func (c *Core) sendRdvData(r *Request, recvID uint64, grant int) {
+	if grant == 0 {
+		// Zero-byte grant (receiver posted an empty buffer): nothing to
+		// transmit, the pack is done.
+		c.finishSend(r)
+		return
+	}
 	data := r.data[:grant]
 	shares := c.strat.SplitRdv(c, len(data))
 	outstanding := len(shares)
@@ -520,12 +566,9 @@ func (c *Core) sendRdvData(r *Request, recvID uint64, grant int) {
 		c.submitRdvChunk(r.gate, pw, sh.Rail, cached, func() {
 			outstanding--
 			if outstanding == 0 {
-				last.complete()
+				c.finishSend(last)
 			}
 		})
-	}
-	if len(shares) == 0 { // zero-byte grant
-		r.complete()
 	}
 }
 

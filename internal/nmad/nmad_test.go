@@ -605,6 +605,66 @@ func TestPropertyOrderingMixedSizes(t *testing.T) {
 	}
 }
 
+// FIFO send completion is scoped per (gate, tag): a send on another tag must
+// complete independently of an in-flight rendezvous, otherwise legal MPI
+// patterns like Isend(large) -> Barrier -> Recv deadlock (the barrier's
+// eager traffic would wait on a rendezvous whose matching receive only gets
+// posted after the barrier).
+func TestSendCompletionIndependentAcrossTags(t *testing.T) {
+	ev := newEnv(t, 2, StratAggreg)
+	big := make([]byte, 100<<10) // rendezvous
+	got := make([]byte, len(big))
+	smallFirst := false
+	ev.run(t, func(rank int, p *vtime.Proc) {
+		if rank == 0 {
+			bigReq := ev.cores[0].ISend(ev.cores[0].Gate(1), 1, big)
+			// Same gate, different tag: must complete while the rdv is
+			// still waiting for its CTS (the peer posts that receive last).
+			small := ev.cores[0].ISend(ev.cores[0].Gate(1), 2, []byte("ping"))
+			ev.wait(0, p, small)
+			smallFirst = !bigReq.Done()
+			ev.wait(0, p, ev.cores[0].ISend(ev.cores[0].Gate(1), 3, []byte("go")))
+			ev.wait(0, p, bigReq)
+		} else {
+			buf := make([]byte, 8)
+			ev.wait(1, p, ev.cores[1].IRecv(ev.cores[1].Gate(0), 2, ^uint64(0), buf))
+			ev.wait(1, p, ev.cores[1].IRecv(ev.cores[1].Gate(0), 3, ^uint64(0), buf))
+			ev.wait(1, p, ev.cores[1].IRecv(ev.cores[1].Gate(0), 1, ^uint64(0), got))
+		}
+	})
+	if !bytes.Equal(got, big) {
+		t.Fatal("rendezvous payload corrupted")
+	}
+	if !smallFirst {
+		t.Fatal("small send on tag 2 should complete before the tag-1 rendezvous")
+	}
+}
+
+// A rendezvous message received into a zero-length buffer must complete on
+// BOTH sides: the receive as fully truncated, and the send via a zero-grant
+// CTS (previously the CTS was skipped and the sender hung forever).
+func TestRendezvousZeroBufferRecvCompletesSender(t *testing.T) {
+	ev := newEnv(t, 2, StratAggreg)
+	big := make([]byte, 200<<10)
+	var st Status
+	ev.run(t, func(rank int, p *vtime.Proc) {
+		if rank == 0 {
+			ev.wait(0, p, ev.cores[0].ISend(ev.cores[0].Gate(1), 4, big))
+			// The same tag must not stay gated behind the zero-grant pack.
+			ev.wait(0, p, ev.cores[0].ISend(ev.cores[0].Gate(1), 4, []byte("after")))
+		} else {
+			r := ev.cores[1].IRecv(ev.cores[1].Gate(0), 4, ^uint64(0), nil)
+			ev.wait(1, p, r)
+			st = r.Status()
+			buf := make([]byte, 8)
+			ev.wait(1, p, ev.cores[1].IRecv(ev.cores[1].Gate(0), 4, ^uint64(0), buf))
+		}
+	})
+	if !st.Truncated || st.Len != 0 {
+		t.Fatalf("zero-buffer rdv status = %+v", st)
+	}
+}
+
 func TestStrategyNames(t *testing.T) {
 	for k, want := range map[StrategyKind]string{
 		StratDefault: "default", StratAggreg: "aggreg", StratSplitBalance: "split_balance",

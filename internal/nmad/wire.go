@@ -122,6 +122,10 @@ type Request struct {
 	seq  uint32
 	id   uint64
 	rdv  bool
+	// finished marks a send whose protocol work is done; actual completion
+	// is deferred until every earlier send on the same gate has finished
+	// (FIFO completion order, enforced by Core.finishSend).
+	finished bool
 	// acked counts rendezvous payload bytes known to have left/arrived.
 	acked int
 

@@ -42,10 +42,15 @@ type Source interface {
 }
 
 // Task is deferred host work (e.g. eager submission chunks) that may be
-// offloaded to the progress thread.
+// offloaded to the progress thread. Exactly one of Run / RunP must be set:
+// RunP receives the proc executing the progress pass (application thread or
+// PIOMan thread) so the task can itself issue time-charged operations — the
+// nonblocking-collective engine uses it to start schedule rounds from
+// progress context.
 type Task struct {
 	Cost vtime.Duration
 	Run  func()
+	RunP func(p *vtime.Proc)
 }
 
 // Config tunes the manager.
@@ -130,6 +135,9 @@ func (m *Manager) Notify() {
 // thread (submission offload, §2.2.3); otherwise it runs at the next
 // Progress call on the posting process's own time.
 func (m *Manager) PostTask(t Task) {
+	if (t.Run == nil) == (t.RunP == nil) {
+		panic("pioman: Task needs exactly one of Run / RunP")
+	}
 	m.tasks = append(m.tasks, t)
 	if m.cfg.Enabled {
 		m.work.Broadcast()
@@ -145,7 +153,11 @@ func (m *Manager) runTasks(p *vtime.Proc, bg bool) int {
 		if t.Cost > 0 {
 			p.Sleep(t.Cost)
 		}
-		t.Run()
+		if t.RunP != nil {
+			t.RunP(p)
+		} else {
+			t.Run()
+		}
 		n++
 		if bg {
 			m.BgTasks++

@@ -6,6 +6,7 @@ import (
 	"repro/internal/ch3"
 	"repro/internal/coll"
 	"repro/internal/marcel"
+	"repro/internal/nbc"
 	"repro/internal/pioman"
 	"repro/internal/vtime"
 )
@@ -22,10 +23,12 @@ func fromCH3(s ch3.Status) Status {
 	return Status{Source: int(s.Source), Tag: int(s.Tag), Len: s.Len, Truncated: s.Truncated}
 }
 
-// Request is an in-flight nonblocking operation.
+// Request is an in-flight nonblocking operation (point-to-point or
+// collective).
 type Request struct {
 	c  *Comm
-	r  *ch3.Request // nil for self-sends/recvs
+	r  *ch3.Request // nil for self-sends/recvs and collectives
+	op *nbc.Op      // nonblocking collective, nil otherwise
 	st *Status      // self-op status (set on completion)
 	ok *bool        // self-op completion flag
 
@@ -37,6 +40,9 @@ type Request struct {
 
 // Done reports completion.
 func (q *Request) Done() bool {
+	if q.op != nil {
+		return q.op.Done()
+	}
 	if q.r != nil {
 		return q.r.Done()
 	}
@@ -53,9 +59,12 @@ type Comm struct {
 	mgr  *pioman.Manager
 
 	ctx     int32 // point-to-point context
-	collCtx int32 // collective context
+	collCtx int32 // blocking-collective context
+	nbcCtx  int32 // nonblocking-collective context
 
 	nextCtx *int32 // shared counter for Dup
+
+	nbcEng *nbc.Engine // lazily created schedule engine
 
 	selfSends []selfMsg
 	selfRecvs []*Request
@@ -68,9 +77,9 @@ type selfMsg struct {
 }
 
 func newComm(cfg Config, proc *vtime.Proc, p *ch3.Process, node *marcel.Node, mgr *pioman.Manager) *Comm {
-	next := int32(2)
+	next := int32(3)
 	return &Comm{cfg: cfg, proc: proc, p: p, node: node, mgr: mgr,
-		ctx: 0, collCtx: 1, nextCtx: &next}
+		ctx: 0, collCtx: 1, nbcCtx: 2, nextCtx: &next}
 }
 
 // Rank returns this process's rank.
@@ -85,7 +94,9 @@ func (c *Comm) Dup() *Comm {
 	d := *c
 	d.ctx = *c.nextCtx
 	d.collCtx = *c.nextCtx + 1
-	*c.nextCtx += 2
+	d.nbcCtx = *c.nextCtx + 2
+	*c.nextCtx += 3
+	d.nbcEng = nil
 	d.selfSends = nil
 	d.selfRecvs = nil
 	return &d
@@ -285,13 +296,15 @@ func (c *Comm) SendRecvT(dst int, sdata []byte, src int, rbuf []byte, tag int32)
 }
 
 // Barrier blocks until all ranks reach it.
-func (c *Comm) Barrier() { coll.Barrier(c, 0) }
+func (c *Comm) Barrier() { coll.ExecBlocking(c, c.barrierSchedule(), 0) }
 
 // Bcast distributes data (in place) from root.
-func (c *Comm) Bcast(root int, data []byte) { coll.Bcast(c, root, data, 1) }
+func (c *Comm) Bcast(root int, data []byte) { coll.ExecBlocking(c, c.bcastSchedule(root, data), 1) }
 
 // AllreduceF64 combines x elementwise across ranks, in place.
-func (c *Comm) AllreduceF64(x []float64, op coll.Op) { coll.Allreduce(c, x, op, 2) }
+func (c *Comm) AllreduceF64(x []float64, op coll.Op) {
+	coll.ExecBlocking(c, c.allreduceSchedule(x, op), 2)
+}
 
 // ReduceF64 combines x into root's x (clobbered elsewhere).
 func (c *Comm) ReduceF64(root int, x []float64, op coll.Op) { coll.Reduce(c, root, x, op, 3) }
@@ -318,6 +331,95 @@ func (c *Comm) Scatter(root int, blocks [][]byte, buf []byte) {
 		return
 	}
 	c.RecvT(root, 8, buf)
+}
+
+// ---- schedule selection ------------------------------------------------------
+//
+// Collectives compile to per-rank schedules (internal/coll). When the stack
+// is configured for topology-aware collectives and several ranks share a
+// node, the two-level variants route intra-node traffic over shared memory
+// and let only the per-node leaders touch the network rails.
+
+// twoLevel reports whether the hierarchical variants apply.
+func (c *Comm) twoLevel() bool {
+	if !c.cfg.TwoLevelColl || len(c.cfg.Placement) != c.Size() {
+		return false
+	}
+	return c.cfg.Placement.MaxRanksPerNode(c.cfg.Cluster.NumNodes) > 1
+}
+
+func (c *Comm) barrierSchedule() *coll.Schedule {
+	if c.twoLevel() {
+		return coll.BuildBarrierTwoLevel(c.Rank(), c.cfg.Placement)
+	}
+	return coll.BuildBarrier(c.Rank(), c.Size())
+}
+
+func (c *Comm) bcastSchedule(root int, data []byte) *coll.Schedule {
+	if c.twoLevel() {
+		return coll.BuildBcastTwoLevel(c.Rank(), c.cfg.Placement, root, data)
+	}
+	return coll.BuildBcast(c.Rank(), c.Size(), root, data)
+}
+
+func (c *Comm) allreduceSchedule(x []float64, op coll.Op) *coll.Schedule {
+	if c.twoLevel() {
+		return coll.BuildAllreduceTwoLevel(c.Rank(), c.cfg.Placement, x, op)
+	}
+	return coll.BuildAllreduce(c.Rank(), c.Size(), x, op)
+}
+
+// ---- nonblocking collectives -------------------------------------------------
+//
+// The I* operations compile the same schedules as their blocking
+// counterparts but hand them to the internal/nbc engine: the calling thread
+// issues round 0 and returns immediately; subsequent rounds are driven by
+// the progress engine, so with PIOMan enabled the collective advances on an
+// idle core while the caller computes. The returned *Request composes with
+// Wait, WaitAll, WaitAny and Test.
+
+// nbcTransport adapts the CH3 layer to the nbc engine on the nbc context.
+type nbcTransport struct{ c *Comm }
+
+func (t nbcTransport) Isend(proc *vtime.Proc, dst int, tag int32, data []byte) nbc.Req {
+	return t.c.p.Isend(proc, dst, tag, t.c.nbcCtx, data)
+}
+
+func (t nbcTransport) Irecv(proc *vtime.Proc, src int, tag int32, buf []byte) nbc.Req {
+	return t.c.p.Irecv(proc, src, tag, t.c.nbcCtx, buf)
+}
+
+func (c *Comm) nbcStart(s *coll.Schedule) *Request {
+	if c.nbcEng == nil {
+		c.nbcEng = nbc.NewEngine(c.mgr, nbcTransport{c})
+	}
+	return &Request{c: c, op: c.nbcEng.Start(c.proc, s)}
+}
+
+// Ibarrier starts a nonblocking barrier.
+func (c *Comm) Ibarrier() *Request {
+	return c.nbcStart(c.barrierSchedule())
+}
+
+// Ibcast starts a nonblocking broadcast of data (in place) from root. The
+// buffer must not be touched until the request completes.
+func (c *Comm) Ibcast(root int, data []byte) *Request {
+	return c.nbcStart(c.bcastSchedule(root, data))
+}
+
+// IallreduceF64 starts a nonblocking elementwise allreduce of x in place.
+func (c *Comm) IallreduceF64(x []float64, op coll.Op) *Request {
+	return c.nbcStart(c.allreduceSchedule(x, op))
+}
+
+// Iallgather starts a nonblocking allgather of each rank's block into out[r].
+func (c *Comm) Iallgather(mine []byte, out [][]byte) *Request {
+	return c.nbcStart(coll.BuildAllgather(c.Rank(), c.Size(), mine, out))
+}
+
+// Ialltoall starts a nonblocking alltoall exchange send[r] → rank r.
+func (c *Comm) Ialltoall(send, recv [][]byte) *Request {
+	return c.nbcStart(coll.BuildAlltoall(c.Rank(), c.Size(), send, recv))
 }
 
 // Reduction operators, re-exported.

@@ -2,7 +2,8 @@
 // runs an SPMD program over a simulated cluster under a selectable MPI stack
 // (MPICH2-NewMadeleine with or without PIOMan, MVAPICH2, Open MPI, or the
 // generic Nemesis module) and exposes MPI-style point-to-point operations,
-// collectives, compute modeling and virtual-time measurement.
+// blocking and nonblocking collectives, compute modeling and virtual-time
+// measurement.
 //
 // A minimal program:
 //
@@ -19,6 +20,32 @@
 //
 // Everything runs in deterministic virtual time: Wtime returns simulated
 // seconds and repeated runs produce identical timings.
+//
+// # Nonblocking collectives
+//
+// Ibarrier, Ibcast, IallreduceF64, Iallgather and Ialltoall return a
+// *Request composable with Wait, WaitAll, WaitAny and Test. Each collective
+// is compiled by internal/coll into a per-rank schedule — rounds of
+// {send, recv, copy, reduce} primitives — and executed by the internal/nbc
+// engine over the CH3 nonblocking layer. The calling thread issues round 0;
+// every later round starts from the progress engine, so the schedule's
+// advancement follows the stack's progress regime exactly as the paper's
+// §3.3 describes for point-to-point:
+//
+//   - with PIOMan, the background progress thread picks rounds up on an
+//     idle core and the collective overlaps with Compute;
+//   - without it, rounds only advance inside MPI calls (Wait/Test), so the
+//     collective and the computation serialize.
+//
+// The canonical overlap pattern:
+//
+//	q := c.IallreduceF64(x, mpi.OpSum)
+//	c.Compute(300e-6) // overlaps with the allreduce under PIOMan
+//	c.Wait(q)
+//
+// Config.TwoLevelColl selects topology-aware collectives: when several
+// ranks share a node, the intra-node phase runs over shared memory and only
+// one leader per node touches the network rails.
 package mpi
 
 import (
@@ -52,6 +79,11 @@ type Config struct {
 	Stack cluster.Stack
 	// NP is the number of ranks.
 	NP int
+	// TwoLevelColl enables the topology-aware two-level collectives: the
+	// intra-node phase runs over shared memory, only per-node leaders touch
+	// the network rails. Applies to Barrier/Bcast/AllreduceF64 and their
+	// nonblocking counterparts when several ranks share a node.
+	TwoLevelColl bool
 }
 
 // RailStat summarizes one rail's traffic after a run.
@@ -89,6 +121,7 @@ func Run(cfg Config, main func(*Comm)) (*Report, error) {
 	if err := placement.Validate(cfg.Cluster); err != nil {
 		return nil, err
 	}
+	cfg.Placement = placement // hand the resolved placement to the comms
 	if len(cfg.Stack.Rails) == 0 && cfg.NP > 1 && needsNetwork(placement) {
 		return nil, fmt.Errorf("mpi: stack %q has no rails but ranks span nodes", cfg.Stack.Name)
 	}
