@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/cluster"
+	"repro/internal/coll"
+	"repro/internal/topo"
+	"repro/mpi"
+)
+
+// CollBenchOptions tunes one collective-benchmark measurement: Op at Bytes
+// payload per rank, averaged over Iters, on NP ranks block-placed so the
+// topology-aware variants have co-located ranks to aggregate.
+type CollBenchOptions struct {
+	// Op is one of "bcast", "allreduce", "allgather", "alltoall".
+	Op string
+	// Bytes is the per-rank payload: the full buffer for bcast, the vector
+	// bytes for allreduce (rounded down to whole float64s), the per-rank
+	// block for allgather/alltoall.
+	Bytes int
+	// Iters averages over this many repetitions (after one warmup).
+	Iters int
+	// NP is the number of ranks.
+	NP int
+	// Algo forces one algorithm (coll.AlgoAuto lets the selector choose).
+	Algo coll.Algo
+	// TwoLevel enables the topology-aware variants.
+	TwoLevel bool
+	// NoCache disables the per-communicator schedule cache.
+	NoCache bool
+}
+
+func (o CollBenchOptions) withDefaults() CollBenchOptions {
+	if o.Op == "" {
+		o.Op = "allreduce"
+	}
+	if o.Bytes == 0 {
+		o.Bytes = 32 << 10
+	}
+	if o.Iters == 0 {
+		o.Iters = 10
+	}
+	if o.NP == 0 {
+		o.NP = 8
+	}
+	return o
+}
+
+// CollBenchResult reports one configuration's measurement.
+type CollBenchResult struct {
+	// PerOp is the virtual time of one collective, in seconds.
+	PerOp float64
+	// HostMS is the host wall-clock of the whole simulated run in
+	// milliseconds — the quantity schedule caching improves.
+	HostMS float64
+	// Compiles and Hits are rank 0's schedule-cache counters.
+	Compiles, Hits int64
+}
+
+// opKindOf maps the benchmark op name to the registry's kind.
+func opKindOf(op string) (coll.OpKind, error) {
+	switch op {
+	case "bcast":
+		return coll.OpBcast, nil
+	case "allreduce":
+		return coll.OpAllreduce, nil
+	case "allgather":
+		return coll.OpAllgather, nil
+	case "alltoall":
+		return coll.OpAlltoall, nil
+	}
+	return 0, fmt.Errorf("bench: unknown collective %q", op)
+}
+
+// CollBenchOnce measures one stack at one (op, payload, algorithm, cache)
+// configuration.
+func CollBenchOnce(stack cluster.Stack, o CollBenchOptions) (CollBenchResult, error) {
+	o = o.withDefaults()
+	kind, err := opKindOf(o.Op)
+	if err != nil {
+		return CollBenchResult{}, err
+	}
+	cfg := mpi.Config{
+		Cluster:      cluster.Xeon2(),
+		Stack:        stack,
+		NP:           o.NP,
+		Placement:    topo.Block(o.NP, cluster.Xeon2().NumNodes),
+		TwoLevelColl: o.TwoLevel,
+		NoSchedCache: o.NoCache,
+	}
+	if o.Algo != coll.AlgoAuto {
+		cfg.Coll.Force = map[coll.OpKind]coll.Algo{kind: o.Algo}
+	}
+
+	var res CollBenchResult
+	start := time.Now()
+	_, err = mpi.Run(cfg, func(c *mpi.Comm) {
+		np := c.Size()
+		body := func() {}
+		switch kind {
+		case coll.OpBcast:
+			data := make([]byte, o.Bytes)
+			body = func() { c.Bcast(0, data) }
+		case coll.OpAllreduce:
+			x := make([]float64, o.Bytes/8)
+			body = func() { c.AllreduceF64(x, mpi.OpSum) }
+		case coll.OpAllgather:
+			mine := make([]byte, o.Bytes)
+			out := make([][]byte, np)
+			for r := range out {
+				out[r] = make([]byte, o.Bytes)
+			}
+			body = func() { c.Allgather(mine, out) }
+		case coll.OpAlltoall:
+			send := make([][]byte, np)
+			recv := make([][]byte, np)
+			for r := range send {
+				send[r] = make([]byte, o.Bytes)
+				recv[r] = make([]byte, o.Bytes)
+			}
+			body = func() { c.Alltoall(send, recv) }
+		}
+		body() // warmup: connections settle, schedule compiles
+		c.Barrier()
+		t0 := c.Wtime()
+		for i := 0; i < o.Iters; i++ {
+			body()
+		}
+		if c.Rank() == 0 {
+			res.PerOp = (c.Wtime() - t0) / float64(o.Iters)
+			res.Compiles, res.Hits = c.SchedCacheStats()
+		}
+	})
+	res.HostMS = float64(time.Since(start).Microseconds()) / 1e3
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/cluster"
+	"repro/internal/coll"
+)
+
+// TestCollBenchOnce: the sweep harness runs every op and reports sane
+// numbers, with the cache compiling once per shape.
+func TestCollBenchOnce(t *testing.T) {
+	for _, op := range []string{"bcast", "allreduce", "allgather", "alltoall"} {
+		r, err := CollBenchOnce(cluster.MPICH2NmadIB(), CollBenchOptions{
+			Op: op, Bytes: 1024, Iters: 3, NP: 4,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		if r.PerOp <= 0 {
+			t.Errorf("%s: per-op time %g", op, r.PerOp)
+		}
+		// Warmup compiles (collective + the barrier), iterations hit.
+		if r.Hits < 3 {
+			t.Errorf("%s: only %d cache hits over 3 iterations", op, r.Hits)
+		}
+	}
+}
+
+// TestCollBenchForcedAlgo: forcing an algorithm flows through to selection.
+func TestCollBenchForcedAlgo(t *testing.T) {
+	rd, err := CollBenchOnce(cluster.MPICH2NmadIB(), CollBenchOptions{
+		Op: "allreduce", Bytes: 512 << 10, Iters: 2, NP: 8, Algo: coll.AlgoRecDoubling,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rab, err := CollBenchOnce(cluster.MPICH2NmadIB(), CollBenchOptions{
+		Op: "allreduce", Bytes: 512 << 10, Iters: 2, NP: 8, Algo: coll.AlgoRabenseifner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.PerOp == rab.PerOp {
+		t.Errorf("forced algorithms produced identical timings (%g): force ignored?", rd.PerOp)
+	}
+}

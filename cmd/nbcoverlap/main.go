@@ -4,10 +4,12 @@
 // the fraction of the hideable time (min of collective, compute) actually
 // hidden. With PIOMan the schedule engine advances collective rounds on the
 // background progress thread, so the ratio climbs; without it the rounds
-// only move inside MPI calls and the ratio stays near zero.
+// only move inside MPI calls and the ratio stays near zero. -json emits
+// machine-readable rows for the perf trajectory (BENCH_*.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -17,21 +19,35 @@ import (
 	"repro/cluster"
 )
 
+// row is one measurement, JSON-shaped for BENCH_*.json.
+type row struct {
+	Bytes         int     `json:"bytes"`
+	PIOMan        bool    `json:"pioman"`
+	CommUS        float64 `json:"comm_us"`
+	BlockingUS    float64 `json:"blocking_us"`
+	NonblockingUS float64 `json:"nonblocking_us"`
+	OverlapRatio  float64 `json:"overlap_ratio"`
+}
+
 func main() {
 	computeUS := flag.Float64("compute", 300, "injected computation in µs")
 	iters := flag.Int("iters", 5, "iterations per measurement")
 	np := flag.Int("np", 2, "number of ranks")
+	jsonOut := flag.Bool("json", false, "emit JSON rows instead of the table")
 	flag.Parse()
 
 	elemSizes := []int{512, 4 << 10, 32 << 10, 128 << 10} // 4K .. 1MB payloads
 	base := cluster.MPICH2NmadIB()
 	o := bench.NbcOverlapOptions{ComputeUS: *computeUS, Iters: *iters, NP: *np}
 
-	fmt.Printf("IallreduceF64 + %gµs compute + Wait vs blocking sequence (np=%d, %s)\n\n",
-		*computeUS, *np, base.Name)
-	fmt.Printf("%-10s %14s %14s %14s %10s %10s\n",
-		"size", "comm alone", "blocking seq", "nonblocking", "overlap", "pioman")
+	if !*jsonOut {
+		fmt.Printf("IallreduceF64 + %gµs compute + Wait vs blocking sequence (np=%d, %s)\n\n",
+			*computeUS, *np, base.Name)
+		fmt.Printf("%-10s %14s %14s %14s %10s %10s\n",
+			"size", "comm alone", "blocking seq", "nonblocking", "overlap", "pioman")
+	}
 
+	var rows []row
 	wins := 0
 	for _, elems := range elemSizes {
 		oo := o
@@ -43,24 +59,42 @@ func main() {
 				log.Fatal(err)
 			}
 			ratios[i] = r.OverlapRatio()
-			pio := "off"
-			if i == 1 {
-				pio = "on"
+			rows = append(rows, row{
+				Bytes: 8 * elems, PIOMan: i == 1,
+				CommUS: r.CommOnly * 1e6, BlockingUS: r.Blocking * 1e6,
+				NonblockingUS: r.Nonblocking * 1e6, OverlapRatio: r.OverlapRatio(),
+			})
+			if !*jsonOut {
+				pio := "off"
+				if i == 1 {
+					pio = "on"
+				}
+				fmt.Printf("%-10s %12.1fµs %12.1fµs %12.1fµs %9.0f%% %10s\n",
+					bench.SizeLabel(float64(8*elems)), r.CommOnly*1e6, r.Blocking*1e6,
+					r.Nonblocking*1e6, 100*r.OverlapRatio(), pio)
 			}
-			fmt.Printf("%-10s %12.1fµs %12.1fµs %12.1fµs %9.0f%% %10s\n",
-				bench.SizeLabel(float64(8*elems)), r.CommOnly*1e6, r.Blocking*1e6,
-				r.Nonblocking*1e6, 100*r.OverlapRatio(), pio)
 		}
 		if ratios[1] > ratios[0] {
 			wins++
 		}
-		fmt.Println()
+		if !*jsonOut {
+			fmt.Println()
+		}
 	}
 
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if wins == 0 {
-		fmt.Println("RESULT: PIOMan never improved the overlap ratio — progression is broken")
+		fmt.Fprintln(os.Stderr, "RESULT: PIOMan never improved the overlap ratio — progression is broken")
 		os.Exit(1)
 	}
-	fmt.Printf("RESULT: PIOMan strictly improves the overlap ratio on %d of %d size regimes\n",
-		wins, len(elemSizes))
+	if !*jsonOut {
+		fmt.Printf("RESULT: PIOMan strictly improves the overlap ratio on %d of %d size regimes\n",
+			wins, len(elemSizes))
+	}
 }

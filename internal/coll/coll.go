@@ -1,8 +1,14 @@
 // Package coll implements the collective algorithms the NAS kernels and the
-// benchmark harnesses need, expressed over an abstract point-to-point layer:
-// dissemination barrier, binomial broadcast and reduce, recursive-doubling
-// allreduce, ring allgather and pairwise-exchange alltoall — the classic
-// MPICH2 algorithm set.
+// benchmark harnesses need, expressed over an abstract point-to-point layer.
+// The algorithm set spans the classic MPICH2 latency-optimal choices
+// (dissemination barrier, binomial broadcast/reduce, recursive-doubling
+// allreduce, ring allgather, pairwise-exchange alltoall), their
+// bandwidth-optimal large-message counterparts (van de Geijn
+// scatter-allgather broadcast, Rabenseifner allreduce, Bruck allgather) and
+// topology-aware two-level variants. A registry plus size/topology-based
+// selector (registry.go, see README.md for the table) picks per invocation,
+// and Rebind (rebind.go) gives compiled schedules persistent-collective
+// semantics for the mpi layer's per-communicator cache.
 package coll
 
 import (

@@ -1,0 +1,346 @@
+package coll
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// OpKind enumerates the collective operations the registry dispatches.
+type OpKind uint8
+
+const (
+	OpBarrier OpKind = iota
+	OpBcast
+	OpReduce
+	OpAllreduce
+	OpAllgather
+	OpAlltoall
+	OpGather
+	OpScatter
+	numOps
+)
+
+var opNames = [numOps]string{
+	"barrier", "bcast", "reduce", "allreduce",
+	"allgather", "alltoall", "gather", "scatter",
+}
+
+func (o OpKind) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Algo enumerates the schedule algorithms the selector picks between.
+type Algo uint8
+
+const (
+	// AlgoAuto lets the selector choose from size and topology.
+	AlgoAuto Algo = iota
+	AlgoDissemination
+	AlgoBinomial
+	AlgoScatterAllgather
+	AlgoRecDoubling
+	AlgoRabenseifner
+	AlgoRing
+	AlgoBruck
+	AlgoPairwise
+	AlgoLinear
+	AlgoTwoLevel
+	numAlgos
+)
+
+var algoNames = [numAlgos]string{
+	"auto", "dissemination", "binomial", "scatter-allgather",
+	"recursive-doubling", "rabenseifner", "ring", "bruck",
+	"pairwise", "linear", "two-level",
+}
+
+func (a Algo) String() string {
+	if int(a) < len(algoNames) {
+		return algoNames[a]
+	}
+	return fmt.Sprintf("algo(%d)", uint8(a))
+}
+
+// Args carries one invocation's parameters into a registered builder. Only
+// the fields an operation uses are read: Data for bcast, X/Op for the
+// reductions, Mine/Out for allgather and gather, Send for scatter's blocks,
+// Send/Recv for alltoall, Nodes for the two-level variants.
+type Args struct {
+	Rank, Size int
+	Root       int
+	// Nodes maps comm-local ranks to node ids for the two-level variants
+	// (nil selects the flat algorithms).
+	Nodes []int
+
+	Data []byte
+	X    []float64
+	Op   Op
+	Mine []byte
+	Out  [][]byte
+	Send [][]byte
+	Recv [][]byte
+}
+
+// Builder compiles one rank's schedule for one (op, algorithm) pair.
+type Builder func(a Args) *Schedule
+
+var registry [numOps][numAlgos]Builder
+
+// Register installs a builder; the last registration for a pair wins.
+func Register(op OpKind, algo Algo, b Builder) { registry[op][algo] = b }
+
+func init() {
+	Register(OpBarrier, AlgoDissemination, func(a Args) *Schedule {
+		return BuildBarrier(a.Rank, a.Size)
+	})
+	Register(OpBarrier, AlgoTwoLevel, func(a Args) *Schedule {
+		return BuildBarrierTwoLevel(a.Rank, a.Nodes)
+	})
+	Register(OpBcast, AlgoBinomial, func(a Args) *Schedule {
+		return BuildBcast(a.Rank, a.Size, a.Root, a.Data)
+	})
+	Register(OpBcast, AlgoScatterAllgather, func(a Args) *Schedule {
+		return BuildBcastScatterAllgather(a.Rank, a.Size, a.Root, a.Data)
+	})
+	Register(OpBcast, AlgoTwoLevel, func(a Args) *Schedule {
+		return BuildBcastTwoLevel(a.Rank, a.Nodes, a.Root, a.Data)
+	})
+	Register(OpReduce, AlgoBinomial, func(a Args) *Schedule {
+		return BuildReduce(a.Rank, a.Size, a.Root, a.X, a.Op)
+	})
+	Register(OpAllreduce, AlgoRecDoubling, func(a Args) *Schedule {
+		return BuildAllreduce(a.Rank, a.Size, a.X, a.Op)
+	})
+	Register(OpAllreduce, AlgoRabenseifner, func(a Args) *Schedule {
+		return BuildAllreduceRabenseifner(a.Rank, a.Size, a.X, a.Op)
+	})
+	Register(OpAllreduce, AlgoTwoLevel, func(a Args) *Schedule {
+		return BuildAllreduceTwoLevel(a.Rank, a.Nodes, a.X, a.Op)
+	})
+	Register(OpAllgather, AlgoRing, func(a Args) *Schedule {
+		return BuildAllgather(a.Rank, a.Size, a.Mine, a.Out)
+	})
+	Register(OpAllgather, AlgoBruck, func(a Args) *Schedule {
+		return BuildAllgatherBruck(a.Rank, a.Size, a.Mine, a.Out)
+	})
+	Register(OpAllgather, AlgoTwoLevel, func(a Args) *Schedule {
+		return BuildAllgatherTwoLevel(a.Rank, a.Nodes, a.Mine, a.Out)
+	})
+	Register(OpAlltoall, AlgoPairwise, func(a Args) *Schedule {
+		return BuildAlltoall(a.Rank, a.Size, a.Send, a.Recv)
+	})
+	Register(OpAlltoall, AlgoTwoLevel, func(a Args) *Schedule {
+		return BuildAlltoallTwoLevel(a.Rank, a.Nodes, a.Send, a.Recv)
+	})
+	Register(OpGather, AlgoLinear, func(a Args) *Schedule {
+		return BuildGather(a.Rank, a.Size, a.Root, a.Mine, a.Out)
+	})
+	Register(OpScatter, AlgoLinear, func(a Args) *Schedule {
+		return BuildScatter(a.Rank, a.Size, a.Root, a.Send, a.Mine)
+	})
+}
+
+// Tuning parameterizes algorithm selection. The zero value (and a nil
+// pointer) selects the MPICH-flavoured defaults; Force pins an operation to
+// one algorithm; the *Long fields override the bytes thresholds when > 0.
+type Tuning struct {
+	Force         map[OpKind]Algo
+	BcastLong     int
+	AllreduceLong int
+	AllgatherLong int
+}
+
+// Default size thresholds (payload bytes) at which the selector switches
+// from the latency-optimal to the bandwidth-optimal algorithm.
+const (
+	DefBcastLong     = 12 << 10
+	DefAllreduceLong = 4 << 10
+	DefAllgatherLong = 32 << 10
+)
+
+func (t *Tuning) bcastLong() int {
+	if t != nil && t.BcastLong > 0 {
+		return t.BcastLong
+	}
+	return DefBcastLong
+}
+
+func (t *Tuning) allreduceLong() int {
+	if t != nil && t.AllreduceLong > 0 {
+		return t.AllreduceLong
+	}
+	return DefAllreduceLong
+}
+
+func (t *Tuning) allgatherLong() int {
+	if t != nil && t.AllgatherLong > 0 {
+		return t.AllgatherLong
+	}
+	return DefAllgatherLong
+}
+
+// Select picks the algorithm for op on size ranks moving bytes of payload;
+// twoLevel requests the hierarchical variant where one exists. The table
+// lives in internal/coll/README.md.
+func (t *Tuning) Select(op OpKind, size, bytes int, twoLevel bool) Algo {
+	if t != nil && t.Force != nil {
+		if a, ok := t.Force[op]; ok && a != AlgoAuto {
+			return a
+		}
+	}
+	switch op {
+	case OpBarrier:
+		if twoLevel {
+			return AlgoTwoLevel
+		}
+		return AlgoDissemination
+	case OpBcast:
+		if twoLevel {
+			return AlgoTwoLevel
+		}
+		if size < 8 || bytes <= t.bcastLong() {
+			return AlgoBinomial
+		}
+		return AlgoScatterAllgather
+	case OpReduce:
+		return AlgoBinomial
+	case OpAllreduce:
+		if twoLevel {
+			return AlgoTwoLevel
+		}
+		if size < 4 || size&(size-1) != 0 || bytes <= t.allreduceLong() {
+			return AlgoRecDoubling
+		}
+		return AlgoRabenseifner
+	case OpAllgather:
+		if twoLevel {
+			return AlgoTwoLevel
+		}
+		if bytes <= t.allgatherLong() {
+			return AlgoBruck
+		}
+		return AlgoRing
+	case OpAlltoall:
+		if twoLevel {
+			return AlgoTwoLevel
+		}
+		return AlgoPairwise
+	case OpGather, OpScatter:
+		return AlgoLinear
+	}
+	panic(fmt.Sprintf("coll: select on unknown op %d", op))
+}
+
+// Key canonicalizes one collective invocation's compiled shape on a given
+// communicator: operation, selected algorithm, root, and the counts
+// signature. Two invocations with equal keys on the same communicator
+// compile to structurally identical schedules, differing only in which
+// caller buffers they are bound to — the property the per-communicator
+// schedule cache (mpi) relies on.
+type Key struct {
+	Op   OpKind
+	Algo Algo
+	Root int
+	Sig  string
+}
+
+// KeyFor selects the algorithm and builds the canonical key for one
+// invocation. Topology-dependent fallbacks live here: the two-level
+// alltoall needs uniform block sizes and every two-level variant needs a
+// node map, otherwise the flat selection applies.
+func KeyFor(t *Tuning, op OpKind, a Args, twoLevel bool) Key {
+	if twoLevel && a.Nodes == nil {
+		twoLevel = false
+	}
+	if twoLevel && op == OpAlltoall && !uniformBlocks(a.Send) {
+		twoLevel = false
+	}
+	algo := t.Select(op, a.Size, payloadBytes(op, a), twoLevel)
+	if algo == AlgoTwoLevel && a.Nodes == nil {
+		algo = t.Select(op, a.Size, payloadBytes(op, a), false)
+	}
+	return Key{Op: op, Algo: algo, Root: rootOf(op, a), Sig: sigOf(op, a)}
+}
+
+// Build compiles a's schedule with key's algorithm.
+func Build(key Key, a Args) *Schedule {
+	b := registry[key.Op][key.Algo]
+	if b == nil {
+		panic(fmt.Sprintf("coll: no %s builder registered for %s", key.Algo, key.Op))
+	}
+	return b(a)
+}
+
+// payloadBytes is the selector's size input: the bytes one rank contributes
+// or receives, per operation.
+func payloadBytes(op OpKind, a Args) int {
+	switch op {
+	case OpBcast:
+		return len(a.Data)
+	case OpReduce, OpAllreduce:
+		return 8 * len(a.X)
+	case OpAllgather:
+		t := len(a.Mine)
+		for _, b := range a.Out {
+			t += len(b)
+		}
+		return t
+	case OpAlltoall:
+		t := 0
+		for _, b := range a.Send {
+			t += len(b)
+		}
+		return t
+	case OpGather:
+		return len(a.Mine)
+	case OpScatter:
+		return len(a.Mine)
+	}
+	return 0
+}
+
+// rootOf returns the root for rooted operations, -1 otherwise.
+func rootOf(op OpKind, a Args) int {
+	switch op {
+	case OpBcast, OpReduce, OpGather, OpScatter:
+		return a.Root
+	}
+	return -1
+}
+
+// sigOf compresses the invocation's buffer counts into the key signature.
+func sigOf(op OpKind, a Args) string {
+	var sb strings.Builder
+	sb.WriteString(strconv.Itoa(len(a.Data)))
+	sb.WriteByte('/')
+	sb.WriteString(strconv.Itoa(len(a.X)))
+	sb.WriteByte('/')
+	sb.WriteString(strconv.Itoa(len(a.Mine)))
+	writeLens := func(bs [][]byte) {
+		sb.WriteByte('/')
+		for i, b := range bs {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Itoa(len(b)))
+		}
+	}
+	writeLens(a.Out)
+	writeLens(a.Send)
+	writeLens(a.Recv)
+	return sb.String()
+}
+
+// uniformBlocks reports whether every block has the same length.
+func uniformBlocks(bs [][]byte) bool {
+	for _, b := range bs {
+		if len(b) != len(bs[0]) {
+			return false
+		}
+	}
+	return true
+}

@@ -60,9 +60,10 @@ func NewEngine(mgr *pioman.Manager, tr Transport) *Engine {
 
 // Op is one in-flight nonblocking collective.
 type Op struct {
-	eng   *Engine
-	sched *coll.Schedule
-	seq   int32
+	eng    *Engine
+	sched  *coll.Schedule
+	seq    int32
+	onDone func()
 
 	round   int
 	pending int // outstanding transfers of the current round (+1 issue guard)
@@ -74,7 +75,14 @@ type Op struct {
 // real MPI_I* call would); later rounds are driven by the progress engine.
 // An empty schedule (single-rank collective) completes immediately.
 func (e *Engine) Start(proc *vtime.Proc, s *coll.Schedule) *Op {
-	op := &Op{eng: e, sched: s, seq: e.nextSeq & 0x7fffffff}
+	return e.StartDone(proc, s, nil)
+}
+
+// StartDone is Start with a completion callback, invoked exactly once when
+// the op completes — possibly synchronously, before StartDone returns. The
+// schedule cache uses it to release a persistent schedule for rebinding.
+func (e *Engine) StartDone(proc *vtime.Proc, s *coll.Schedule, onDone func()) *Op {
+	op := &Op{eng: e, sched: s, seq: e.nextSeq & 0x7fffffff, onDone: onDone}
 	e.nextSeq++
 	e.Started++
 	op.issueRounds(proc)
@@ -164,6 +172,9 @@ func (op *Op) complete() {
 	}
 	op.done = true
 	op.eng.Completed++
+	if op.onDone != nil {
+		op.onDone()
+	}
 	// Wake anything blocked on the manager: under PIOMan the background
 	// thread re-broadcasts completion; without it Notify broadcasts the
 	// completion condition directly.

@@ -1,0 +1,275 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/cluster"
+	"repro/internal/coll"
+)
+
+// TestSchedCacheCompilesOnce: repeating a collective with the same shape on
+// one communicator compiles its schedule exactly once; later invocations
+// are cache hits that rebind buffers.
+func TestSchedCacheCompilesOnce(t *testing.T) {
+	const np = 4
+	_, err := Run(xeonCfg(np, cluster.MPICH2NmadIB().WithPIOMan(true)), func(c *Comm) {
+		x := make([]float64, 64)
+		data := make([]byte, 512)
+
+		c.Wait(c.IallreduceF64(x, OpSum))
+		c.Wait(c.Ibcast(0, data))
+		compiles0, hits0 := c.SchedCacheStats()
+
+		const reps = 5
+		for i := 0; i < reps; i++ {
+			// Fresh buffers each time: reuse must come from rebinding, not
+			// from pointer identity.
+			y := make([]float64, 64)
+			buf := make([]byte, 512)
+			c.Wait(c.IallreduceF64(y, OpSum))
+			c.Wait(c.Ibcast(0, buf))
+			// The blocking paths share the same cache entries.
+			c.AllreduceF64(y, OpSum)
+			c.Bcast(0, buf)
+		}
+		compiles, hits := c.SchedCacheStats()
+		if compiles != compiles0 {
+			t.Errorf("rank %d: %d new compiles on repeated shapes, want 0",
+				c.Rank(), compiles-compiles0)
+		}
+		if want := hits0 + 4*reps; hits != want {
+			t.Errorf("rank %d: %d cache hits, want %d", c.Rank(), hits, want)
+		}
+
+		// A different shape compiles anew...
+		c.Wait(c.IallreduceF64(make([]float64, 128), OpSum))
+		c2, _ := c.SchedCacheStats()
+		if c2 != compiles+1 {
+			t.Errorf("rank %d: new shape added %d compiles, want 1", c.Rank(), c2-compiles)
+		}
+		// ...and a different root does too.
+		c.Wait(c.Ibcast(1, data))
+		c3, _ := c.SchedCacheStats()
+		if c3 != c2+1 {
+			t.Errorf("rank %d: new root added %d compiles, want 1", c.Rank(), c3-c2)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedCacheDeterminism: cached and uncached runs produce identical
+// virtual-time results — compilation is host work, invisible to the
+// simulation.
+func TestSchedCacheDeterminism(t *testing.T) {
+	workload := func(c *Comm) {
+		me := c.Rank()
+		np := c.Size()
+		x := make([]float64, 700) // Rabenseifner regime
+		for i := range x {
+			x[i] = float64(me + i)
+		}
+		data := make([]byte, 20<<10) // binomial regime
+		mine := make([]byte, 256)
+		out := make([][]byte, np)
+		for r := range out {
+			out[r] = make([]byte, 256)
+		}
+		for iter := 0; iter < 4; iter++ {
+			q := c.IallreduceF64(x, OpSum)
+			c.Compute(40e-6)
+			c.Wait(q)
+			c.Bcast(0, data)
+			c.Wait(c.Iallgather(mine, out))
+			c.Barrier()
+		}
+	}
+	measure := func(noCache bool) float64 {
+		cfg := xeonCfg(8, cluster.MPICH2NmadIB().WithPIOMan(true))
+		cfg.NoSchedCache = noCache
+		rep, err := Run(cfg, workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Seconds
+	}
+	cached, uncached := measure(false), measure(true)
+	if cached != uncached {
+		t.Fatalf("cached run %.9fs != uncached run %.9fs", cached, uncached)
+	}
+}
+
+// TestSchedCacheConcurrentSameShape: two in-flight collectives with the
+// same shape stay correct — the second compiles a throwaway schedule
+// instead of rebinding the busy cached one.
+func TestSchedCacheConcurrentSameShape(t *testing.T) {
+	const np = 4
+	_, err := Run(xeonCfg(np, cluster.MPICH2NmadIB().WithPIOMan(true)), func(c *Comm) {
+		me := c.Rank()
+		a := make([]float64, 32)
+		b := make([]float64, 32)
+		for i := range a {
+			a[i] = float64(me)
+			b[i] = float64(10 * me)
+		}
+		q1 := c.IallreduceF64(a, OpSum)
+		q2 := c.IallreduceF64(b, OpSum)
+		c.WaitAll(q1, q2)
+		sum := float64(np * (np - 1) / 2)
+		for i := range a {
+			if math.Abs(a[i]-sum) > 1e-9 || math.Abs(b[i]-10*sum) > 1e-9 {
+				t.Errorf("rank %d: concurrent same-shape results wrong: %g %g", me, a[i], b[i])
+				break
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedCacheNilVsEmpty: nil and zero-length buffers share a cache key
+// (the signature only encodes lengths), so flattening them into rebind
+// regions must treat them identically (regression: nil-vs-empty repeats
+// used to panic with a Rebind shape mismatch).
+func TestSchedCacheNilVsEmpty(t *testing.T) {
+	_, err := Run(xeonCfg(2, cluster.MPICH2NmadIB()), func(c *Comm) {
+		c.Bcast(0, []byte{})
+		c.Bcast(0, nil)
+		x := make([]float64, 0)
+		c.AllreduceF64(x, OpSum)
+		c.AllreduceF64(nil, OpSum)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForcedAlgorithmsMatch: every registered allreduce/allgather/bcast
+// algorithm produces identical results when forced via Config.Coll.
+func TestForcedAlgorithmsMatch(t *testing.T) {
+	type probe struct {
+		op    coll.OpKind
+		algos []coll.Algo
+	}
+	probes := []probe{
+		{coll.OpBcast, []coll.Algo{coll.AlgoBinomial, coll.AlgoScatterAllgather}},
+		{coll.OpAllreduce, []coll.Algo{coll.AlgoRecDoubling, coll.AlgoRabenseifner}},
+		{coll.OpAllgather, []coll.Algo{coll.AlgoRing, coll.AlgoBruck}},
+	}
+	for _, p := range probes {
+		for _, algo := range p.algos {
+			p, algo := p, algo
+			t.Run(fmt.Sprintf("%s/%s", p.op, algo), func(t *testing.T) {
+				cfg := xeonCfg(8, cluster.MPICH2NmadIB())
+				cfg.Coll.Force = map[coll.OpKind]coll.Algo{p.op: algo}
+				_, err := Run(cfg, func(c *Comm) {
+					me := c.Rank()
+					np := c.Size()
+					switch p.op {
+					case coll.OpBcast:
+						data := make([]byte, 3000)
+						if me == 0 {
+							for i := range data {
+								data[i] = byte(i * 13)
+							}
+						}
+						c.Bcast(0, data)
+						for i := range data {
+							if data[i] != byte(i*13) {
+								t.Errorf("rank %d: bcast[%d] wrong under %s", me, i, algo)
+								return
+							}
+						}
+					case coll.OpAllreduce:
+						x := make([]float64, 300)
+						for i := range x {
+							x[i] = float64(me + i)
+						}
+						c.AllreduceF64(x, OpSum)
+						for i := range x {
+							want := float64(np*i) + float64(np*(np-1)/2)
+							if math.Abs(x[i]-want) > 1e-9 {
+								t.Errorf("rank %d: allreduce[%d] = %g want %g under %s",
+									me, i, x[i], want, algo)
+								return
+							}
+						}
+					case coll.OpAllgather:
+						mine := []byte(fmt.Sprintf("r%02d", me))
+						out := make([][]byte, np)
+						for r := range out {
+							out[r] = make([]byte, len(mine))
+						}
+						c.Allgather(mine, out)
+						for r := range out {
+							if string(out[r]) != fmt.Sprintf("r%02d", r) {
+								t.Errorf("rank %d: allgather[%d] = %q under %s", me, r, out[r], algo)
+								return
+							}
+						}
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestCollectiveValidation: mismatched arguments fail at the entry point
+// with a clear per-operation error.
+func TestCollectiveValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		want string // substring of the panic message
+		call func(c *Comm)
+	}{
+		{"BcastRoot", "Bcast: root 7", func(c *Comm) { c.Bcast(7, make([]byte, 4)) }},
+		{"IbcastRoot", "Ibcast: root -1", func(c *Comm) { c.Ibcast(-1, make([]byte, 4)) }},
+		{"AllreduceNilOp", "AllreduceF64: nil reduction operator",
+			func(c *Comm) { c.AllreduceF64(make([]float64, 2), nil) }},
+		{"AllgatherCount", "Allgather: out has 3 blocks for communicator size 2",
+			func(c *Comm) { c.Allgather(make([]byte, 4), make([][]byte, 3)) }},
+		{"IallgatherSelf", "Iallgather: out[0] is 2 bytes but this rank contributes 4",
+			func(c *Comm) {
+				c.Iallgather(make([]byte, 4), [][]byte{make([]byte, 2), make([]byte, 4)})
+			}},
+		{"AlltoallCount", "Alltoall: send has 1 blocks, recv 2",
+			func(c *Comm) { c.Alltoall(make([][]byte, 1), make([][]byte, 2)) }},
+		{"GatherCount", "Gather: out has 5 blocks for communicator size 2",
+			func(c *Comm) { c.Gather(0, make([]byte, 1), make([][]byte, 5)) }},
+		{"IscatterSelf", "Iscatter: blocks[0] is 1 bytes but buf is 3",
+			func(c *Comm) {
+				c.Iscatter(0, [][]byte{make([]byte, 1), make([]byte, 3)}, make([]byte, 3))
+			}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var msg string
+			_, err := Run(xeonCfg(2, cluster.MPICH2NmadIB()), func(c *Comm) {
+				if c.Rank() != 0 {
+					return
+				}
+				defer func() {
+					if r := recover(); r != nil {
+						msg = fmt.Sprint(r)
+					}
+				}()
+				tc.call(c)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(msg, tc.want) {
+				t.Errorf("panic %q does not contain %q", msg, tc.want)
+			}
+		})
+	}
+}

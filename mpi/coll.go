@@ -1,0 +1,316 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/coll"
+	"repro/internal/nbc"
+	"repro/internal/vtime"
+)
+
+// Collectives compile to per-rank schedules through the internal/coll
+// registry: coll.KeyFor selects the algorithm from payload size, rank count
+// and topology (binomial vs scatter-allgather broadcast, recursive doubling
+// vs Rabenseifner allreduce, Bruck vs ring allgather, flat vs two-level),
+// and the per-communicator schedule cache reuses the compiled schedule when
+// the same shape repeats — persistent-collective semantics: compile once,
+// rebind buffers, re-execute. Blocking and nonblocking paths share both the
+// selection and the cache.
+
+// Per-operation tags on the blocking-collective context.
+const (
+	tagBarrier int32 = iota
+	tagBcast
+	tagAllreduce
+	tagReduce
+	tagAllgather
+	tagAlltoall
+	tagGather
+	tagScatter
+)
+
+// SendT / RecvT / SendRecvT implement coll.PtPt on the collective context.
+func (c *Comm) SendT(dst int, tag int32, data []byte) {
+	if dst == c.rank {
+		panic("mpi: collective self-send")
+	}
+	r := c.p.Isend(c.proc, c.world(dst), tag, c.collCtx, data)
+	c.mgr.WaitUntil(c.proc, r.Done)
+}
+
+// RecvT receives on the collective context.
+func (c *Comm) RecvT(src int, tag int32, buf []byte) int {
+	r := c.p.Irecv(c.proc, c.world(src), tag, c.collCtx, buf)
+	c.mgr.WaitUntil(c.proc, r.Done)
+	return r.Stat.Len
+}
+
+// SendRecvT performs a concurrent exchange on the collective context.
+func (c *Comm) SendRecvT(dst int, sdata []byte, src int, rbuf []byte, tag int32) int {
+	rr := c.p.Irecv(c.proc, c.world(src), tag, c.collCtx, rbuf)
+	sr := c.p.Isend(c.proc, c.world(dst), tag, c.collCtx, sdata)
+	c.mgr.WaitUntil(c.proc, func() bool { return rr.Done() && sr.Done() })
+	return rr.Stat.Len
+}
+
+// twoLevelApplies reports whether the topology-aware hierarchical variants
+// apply to a communicator with the given node map: requested by config,
+// placement known, and at least one node hosting several of the
+// communicator's ranks. Computed once per communicator (group and config
+// are immutable) and cached in Comm.twoLvl.
+func twoLevelApplies(cfg *Config, nodes []int) bool {
+	if !cfg.TwoLevelColl || nodes == nil {
+		return false
+	}
+	counts := make(map[int]int, len(nodes))
+	for _, n := range nodes {
+		counts[n]++
+		if counts[n] > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// sched selects the algorithm, then compiles or rebinds the schedule via the
+// per-communicator cache. The returned release function must be called when
+// the execution finishes (the nonblocking path defers it to completion).
+func (c *Comm) sched(op coll.OpKind, a coll.Args) (*coll.Schedule, func()) {
+	a.Rank, a.Size = c.rank, len(c.group)
+	if c.twoLvl {
+		a.Nodes = c.nodes
+	}
+	key := coll.KeyFor(&c.cfg.Coll, op, a, a.Nodes != nil)
+	return c.acquireSched(key, a)
+}
+
+// ---- blocking collectives ----------------------------------------------------
+
+// Barrier blocks until all ranks reach it.
+func (c *Comm) Barrier() {
+	s, release := c.sched(coll.OpBarrier, coll.Args{})
+	coll.ExecBlocking(c, s, tagBarrier)
+	release()
+}
+
+// Bcast distributes data (in place) from root.
+func (c *Comm) Bcast(root int, data []byte) {
+	c.checkRoot("Bcast", root)
+	s, release := c.sched(coll.OpBcast, coll.Args{Root: root, Data: data})
+	coll.ExecBlocking(c, s, tagBcast)
+	release()
+}
+
+// AllreduceF64 combines x elementwise across ranks, in place.
+func (c *Comm) AllreduceF64(x []float64, op coll.Op) {
+	c.checkOp("AllreduceF64", op)
+	s, release := c.sched(coll.OpAllreduce, coll.Args{X: x, Op: op})
+	coll.ExecBlocking(c, s, tagAllreduce)
+	release()
+}
+
+// ReduceF64 combines x into root's x (clobbered elsewhere).
+func (c *Comm) ReduceF64(root int, x []float64, op coll.Op) {
+	c.checkRoot("ReduceF64", root)
+	c.checkOp("ReduceF64", op)
+	s, release := c.sched(coll.OpReduce, coll.Args{Root: root, X: x, Op: op})
+	coll.ExecBlocking(c, s, tagReduce)
+	release()
+}
+
+// Allgather collects each rank's block into out[r].
+func (c *Comm) Allgather(mine []byte, out [][]byte) {
+	c.checkAllgather("Allgather", mine, out)
+	s, release := c.sched(coll.OpAllgather, coll.Args{Mine: mine, Out: out})
+	coll.ExecBlocking(c, s, tagAllgather)
+	release()
+}
+
+// Alltoall exchanges send[r] → rank r into recv[s].
+func (c *Comm) Alltoall(send, recv [][]byte) {
+	c.checkAlltoall("Alltoall", send, recv)
+	s, release := c.sched(coll.OpAlltoall, coll.Args{Send: send, Recv: recv})
+	coll.ExecBlocking(c, s, tagAlltoall)
+	release()
+}
+
+// Gather collects blocks at root (out[r] is filled on root only).
+func (c *Comm) Gather(root int, mine []byte, out [][]byte) {
+	c.checkGather("Gather", root, mine, out)
+	s, release := c.sched(coll.OpGather, coll.Args{Root: root, Mine: mine, Out: out})
+	coll.ExecBlocking(c, s, tagGather)
+	release()
+}
+
+// Scatter distributes blocks[r] from root to rank r's buf (MPI_Scatter;
+// blocks is only read on root).
+func (c *Comm) Scatter(root int, blocks [][]byte, buf []byte) {
+	c.checkScatter("Scatter", root, blocks, buf)
+	s, release := c.sched(coll.OpScatter, coll.Args{Root: root, Send: blocks, Mine: buf})
+	coll.ExecBlocking(c, s, tagScatter)
+	release()
+}
+
+// ---- nonblocking collectives -------------------------------------------------
+//
+// The I* operations compile the same schedules as their blocking
+// counterparts but hand them to the internal/nbc engine: the calling thread
+// issues round 0 and returns immediately; subsequent rounds are driven by
+// the progress engine, so with PIOMan enabled the collective advances on an
+// idle core while the caller computes. The returned *Request composes with
+// Wait, WaitAll, WaitAny and Test. A cached schedule stays bound to the
+// operation until it completes; starting the same shape again while one is
+// in flight compiles a throwaway schedule.
+
+// nbcTransport adapts the CH3 layer to the nbc engine on the nbc context.
+type nbcTransport struct{ c *Comm }
+
+func (t nbcTransport) Isend(proc *vtime.Proc, dst int, tag int32, data []byte) nbc.Req {
+	return t.c.p.Isend(proc, t.c.world(dst), tag, t.c.nbcCtx, data)
+}
+
+func (t nbcTransport) Irecv(proc *vtime.Proc, src int, tag int32, buf []byte) nbc.Req {
+	return t.c.p.Irecv(proc, t.c.world(src), tag, t.c.nbcCtx, buf)
+}
+
+func (c *Comm) nbcStart(op coll.OpKind, a coll.Args) *Request {
+	if c.nbcEng == nil {
+		c.nbcEng = nbc.NewEngine(c.mgr, nbcTransport{c})
+	}
+	s, release := c.sched(op, a)
+	return &Request{c: c, op: c.nbcEng.StartDone(c.proc, s, release)}
+}
+
+// Ibarrier starts a nonblocking barrier.
+func (c *Comm) Ibarrier() *Request {
+	return c.nbcStart(coll.OpBarrier, coll.Args{})
+}
+
+// Ibcast starts a nonblocking broadcast of data (in place) from root. The
+// buffer must not be touched until the request completes.
+func (c *Comm) Ibcast(root int, data []byte) *Request {
+	c.checkRoot("Ibcast", root)
+	return c.nbcStart(coll.OpBcast, coll.Args{Root: root, Data: data})
+}
+
+// IallreduceF64 starts a nonblocking elementwise allreduce of x in place.
+func (c *Comm) IallreduceF64(x []float64, op coll.Op) *Request {
+	c.checkOp("IallreduceF64", op)
+	return c.nbcStart(coll.OpAllreduce, coll.Args{X: x, Op: op})
+}
+
+// IreduceF64 starts a nonblocking reduction of x into root's x (clobbered
+// elsewhere).
+func (c *Comm) IreduceF64(root int, x []float64, op coll.Op) *Request {
+	c.checkRoot("IreduceF64", root)
+	c.checkOp("IreduceF64", op)
+	return c.nbcStart(coll.OpReduce, coll.Args{Root: root, X: x, Op: op})
+}
+
+// Iallgather starts a nonblocking allgather of each rank's block into out[r].
+func (c *Comm) Iallgather(mine []byte, out [][]byte) *Request {
+	c.checkAllgather("Iallgather", mine, out)
+	return c.nbcStart(coll.OpAllgather, coll.Args{Mine: mine, Out: out})
+}
+
+// Ialltoall starts a nonblocking alltoall exchange send[r] → rank r.
+func (c *Comm) Ialltoall(send, recv [][]byte) *Request {
+	c.checkAlltoall("Ialltoall", send, recv)
+	return c.nbcStart(coll.OpAlltoall, coll.Args{Send: send, Recv: recv})
+}
+
+// Igather starts a nonblocking gather of blocks at root.
+func (c *Comm) Igather(root int, mine []byte, out [][]byte) *Request {
+	c.checkGather("Igather", root, mine, out)
+	return c.nbcStart(coll.OpGather, coll.Args{Root: root, Mine: mine, Out: out})
+}
+
+// Iscatter starts a nonblocking scatter of blocks[r] from root to rank r's
+// buf (blocks is only read on root).
+func (c *Comm) Iscatter(root int, blocks [][]byte, buf []byte) *Request {
+	c.checkScatter("Iscatter", root, blocks, buf)
+	return c.nbcStart(coll.OpScatter, coll.Args{Root: root, Send: blocks, Mine: buf})
+}
+
+// ---- argument validation -----------------------------------------------------
+//
+// Every collective validates its arguments at the entry point so mismatched
+// counts fail with a per-operation error instead of a deep panic in a
+// schedule builder or a silently truncated transfer. Cross-rank agreement
+// (all ranks passing matching counts) remains the caller's contract, as in
+// MPI.
+
+func (c *Comm) checkRoot(op string, root int) {
+	if root < 0 || root >= c.Size() {
+		panic(fmt.Sprintf("mpi: %s: root %d out of range [0,%d)", op, root, c.Size()))
+	}
+}
+
+func (c *Comm) checkOp(op string, f coll.Op) {
+	if f == nil {
+		panic(fmt.Sprintf("mpi: %s: nil reduction operator", op))
+	}
+}
+
+func (c *Comm) checkAllgather(op string, mine []byte, out [][]byte) {
+	if len(out) != c.Size() {
+		panic(fmt.Sprintf("mpi: %s: out has %d blocks for communicator size %d",
+			op, len(out), c.Size()))
+	}
+	if len(out[c.rank]) != len(mine) {
+		panic(fmt.Sprintf("mpi: %s: out[%d] is %d bytes but this rank contributes %d",
+			op, c.rank, len(out[c.rank]), len(mine)))
+	}
+}
+
+func (c *Comm) checkAlltoall(op string, send, recv [][]byte) {
+	if len(send) != c.Size() || len(recv) != c.Size() {
+		panic(fmt.Sprintf("mpi: %s: send has %d blocks, recv %d, communicator size %d",
+			op, len(send), len(recv), c.Size()))
+	}
+	if len(recv[c.rank]) != len(send[c.rank]) {
+		panic(fmt.Sprintf("mpi: %s: self block mismatch: send[%d]=%d bytes, recv[%d]=%d",
+			op, c.rank, len(send[c.rank]), c.rank, len(recv[c.rank])))
+	}
+}
+
+func (c *Comm) checkGather(op string, root int, mine []byte, out [][]byte) {
+	c.checkRoot(op, root)
+	if c.rank != root {
+		return
+	}
+	if len(out) != c.Size() {
+		panic(fmt.Sprintf("mpi: %s: out has %d blocks for communicator size %d",
+			op, len(out), c.Size()))
+	}
+	if len(out[root]) != len(mine) {
+		panic(fmt.Sprintf("mpi: %s: out[%d] is %d bytes but the root contributes %d",
+			op, root, len(out[root]), len(mine)))
+	}
+}
+
+func (c *Comm) checkScatter(op string, root int, blocks [][]byte, buf []byte) {
+	c.checkRoot(op, root)
+	if c.rank != root {
+		return
+	}
+	if len(blocks) != c.Size() {
+		panic(fmt.Sprintf("mpi: %s: blocks has %d entries for communicator size %d",
+			op, len(blocks), c.Size()))
+	}
+	if len(blocks[root]) != len(buf) {
+		panic(fmt.Sprintf("mpi: %s: blocks[%d] is %d bytes but buf is %d",
+			op, root, len(blocks[root]), len(buf)))
+	}
+}
+
+// Reduction operators, re-exported.
+var (
+	OpSum = coll.OpSum
+	OpMax = coll.OpMax
+	OpMin = coll.OpMin
+)
+
+// F64Bytes / BytesF64 re-export the wire codec for float64 vectors.
+func F64Bytes(xs []float64) []byte     { return coll.F64Bytes(xs) }
+func BytesF64(dst []float64, b []byte) { coll.BytesF64(dst, b) }

@@ -4,14 +4,14 @@ import (
 	"fmt"
 
 	"repro/internal/ch3"
-	"repro/internal/coll"
 	"repro/internal/marcel"
 	"repro/internal/nbc"
 	"repro/internal/pioman"
 	"repro/internal/vtime"
 )
 
-// Status describes a completed receive.
+// Status describes a completed receive. Source is a rank of the
+// communicator the receive was posted on.
 type Status struct {
 	Source    int
 	Tag       int
@@ -50,7 +50,9 @@ func (q *Request) Done() bool {
 }
 
 // Comm is one rank's communicator handle (MPI_COMM_WORLD by default; Dup
-// derives new contexts).
+// and Split derive new communicators over fresh contexts). A derived
+// communicator renumbers its members 0..Size()-1 and translates to world
+// ranks internally.
 type Comm struct {
 	cfg  Config
 	proc *vtime.Proc
@@ -58,13 +60,24 @@ type Comm struct {
 	node *marcel.Node
 	mgr  *pioman.Manager
 
+	// group maps comm-local ranks to world (ch3) ranks; inv is the
+	// world→local inverse (-1 for non-members); rank is this process's
+	// local rank; nodes maps local ranks to node ids (nil when no
+	// placement is known).
+	group  []int
+	inv    []int
+	rank   int
+	nodes  []int
+	twoLvl bool // two-level collectives apply (precomputed from cfg+nodes)
+
 	ctx     int32 // point-to-point context
 	collCtx int32 // blocking-collective context
 	nbcCtx  int32 // nonblocking-collective context
 
-	nextCtx *int32 // shared counter for Dup
+	nextCtx *int32 // shared counter for Dup/Split
 
 	nbcEng *nbc.Engine // lazily created schedule engine
+	cache  *schedCache // per-communicator persistent-schedule cache
 
 	selfSends []selfMsg
 	selfRecvs []*Request
@@ -78,18 +91,42 @@ type selfMsg struct {
 
 func newComm(cfg Config, proc *vtime.Proc, p *ch3.Process, node *marcel.Node, mgr *pioman.Manager) *Comm {
 	next := int32(3)
+	group := make([]int, p.Size)
+	inv := make([]int, p.Size)
+	for i := range group {
+		group[i] = i
+		inv[i] = i
+	}
+	var nodes []int
+	if len(cfg.Placement) == p.Size {
+		nodes = append([]int(nil), cfg.Placement...)
+	}
 	return &Comm{cfg: cfg, proc: proc, p: p, node: node, mgr: mgr,
-		ctx: 0, collCtx: 1, nbcCtx: 2, nextCtx: &next}
+		group: group, inv: inv, rank: p.Rank, nodes: nodes,
+		twoLvl: twoLevelApplies(&cfg, nodes),
+		ctx:    0, collCtx: 1, nbcCtx: 2, nextCtx: &next}
 }
 
-// Rank returns this process's rank.
-func (c *Comm) Rank() int { return c.p.Rank }
+// Rank returns this process's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
 
-// Size returns the number of ranks.
-func (c *Comm) Size() int { return c.p.Size }
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
 
-// Dup returns a communicator with fresh contexts (local operation; all
-// ranks must call it in the same order, as in MPI).
+// world translates a comm-local rank to the underlying process rank.
+func (c *Comm) world(r int) int { return c.group[r] }
+
+// localOf translates a world rank back to this communicator's numbering
+// (identity for ranks outside the group, which only self-ops produce).
+func (c *Comm) localOf(w int) int {
+	if w >= 0 && w < len(c.inv) && c.inv[w] >= 0 {
+		return c.inv[w]
+	}
+	return w
+}
+
+// Dup returns a communicator with the same group over fresh contexts
+// (all ranks must call it in the same order, as in MPI).
 func (c *Comm) Dup() *Comm {
 	d := *c
 	d.ctx = *c.nextCtx
@@ -97,6 +134,7 @@ func (c *Comm) Dup() *Comm {
 	d.nbcCtx = *c.nextCtx + 2
 	*c.nextCtx += 3
 	d.nbcEng = nil
+	d.cache = nil
 	d.selfSends = nil
 	d.selfRecvs = nil
 	return &d
@@ -123,10 +161,10 @@ func (c *Comm) ComputeFlops(ops float64) {
 // Isend starts a nonblocking send.
 func (c *Comm) Isend(dst, tag int, data []byte) *Request {
 	c.checkRank(dst, "Isend")
-	if dst == c.Rank() {
+	if dst == c.rank {
 		return c.selfIsend(int32(tag), c.ctx, data)
 	}
-	return &Request{c: c, r: c.p.Isend(c.proc, dst, int32(tag), c.ctx, data)}
+	return &Request{c: c, r: c.p.Isend(c.proc, c.world(dst), int32(tag), c.ctx, data)}
 }
 
 // Irecv starts a nonblocking receive; src may be AnySource, tag AnyTag.
@@ -134,10 +172,14 @@ func (c *Comm) Irecv(src, tag int, buf []byte) *Request {
 	if src != AnySource {
 		c.checkRank(src, "Irecv")
 	}
-	if src == c.Rank() {
+	if src == c.rank {
 		return c.selfIrecv(int32(tag), c.ctx, buf)
 	}
-	return &Request{c: c, r: c.p.Irecv(c.proc, src, int32(tag), c.ctx, buf)}
+	wsrc := src
+	if src != AnySource {
+		wsrc = c.world(src)
+	}
+	return &Request{c: c, r: c.p.Irecv(c.proc, wsrc, int32(tag), c.ctx, buf)}
 }
 
 // Send is a blocking send.
@@ -205,7 +247,9 @@ func (c *Comm) Sendrecv(dst, stag int, sdata []byte, src, rtag int, rbuf []byte)
 func (q *Request) status() Status {
 	if q.r != nil {
 		if q.r.IsRecv() {
-			return fromCH3(q.r.Stat)
+			st := fromCH3(q.r.Stat)
+			st.Source = q.c.localOf(st.Source)
+			return st
 		}
 		return Status{}
 	}
@@ -236,7 +280,7 @@ func (c *Comm) selfIsend(tag, ctx int32, data []byte) *Request {
 	for i, rq := range c.selfRecvs {
 		if rq.matchSelf(tag, ctx) {
 			c.selfRecvs = append(c.selfRecvs[:i], c.selfRecvs[i+1:]...)
-			rq.completeSelf(c.Rank(), tag, cp)
+			rq.completeSelf(c.rank, tag, cp)
 			return q
 		}
 	}
@@ -261,174 +305,10 @@ func (c *Comm) selfIrecv(tag, ctx int32, buf []byte) *Request {
 	for i, m := range c.selfSends {
 		if m.ctx == ctx && (tag == int32(AnyTag) || tag == m.tag) {
 			c.selfSends = append(c.selfSends[:i], c.selfSends[i+1:]...)
-			q.completeSelf(c.Rank(), m.tag, m.data)
+			q.completeSelf(c.rank, m.tag, m.data)
 			return q
 		}
 	}
 	c.selfRecvs = append(c.selfRecvs, q)
 	return q
 }
-
-// ---- collectives -------------------------------------------------------------
-
-// SendT / RecvT / SendRecvT implement coll.PtPt on the collective context.
-func (c *Comm) SendT(dst int, tag int32, data []byte) {
-	if dst == c.Rank() {
-		panic("mpi: collective self-send")
-	}
-	r := c.p.Isend(c.proc, dst, tag, c.collCtx, data)
-	c.mgr.WaitUntil(c.proc, r.Done)
-}
-
-// RecvT receives on the collective context.
-func (c *Comm) RecvT(src int, tag int32, buf []byte) int {
-	r := c.p.Irecv(c.proc, src, tag, c.collCtx, buf)
-	c.mgr.WaitUntil(c.proc, r.Done)
-	return r.Stat.Len
-}
-
-// SendRecvT performs a concurrent exchange on the collective context.
-func (c *Comm) SendRecvT(dst int, sdata []byte, src int, rbuf []byte, tag int32) int {
-	rr := c.p.Irecv(c.proc, src, tag, c.collCtx, rbuf)
-	sr := c.p.Isend(c.proc, dst, tag, c.collCtx, sdata)
-	c.mgr.WaitUntil(c.proc, func() bool { return rr.Done() && sr.Done() })
-	return rr.Stat.Len
-}
-
-// Barrier blocks until all ranks reach it.
-func (c *Comm) Barrier() { coll.ExecBlocking(c, c.barrierSchedule(), 0) }
-
-// Bcast distributes data (in place) from root.
-func (c *Comm) Bcast(root int, data []byte) { coll.ExecBlocking(c, c.bcastSchedule(root, data), 1) }
-
-// AllreduceF64 combines x elementwise across ranks, in place.
-func (c *Comm) AllreduceF64(x []float64, op coll.Op) {
-	coll.ExecBlocking(c, c.allreduceSchedule(x, op), 2)
-}
-
-// ReduceF64 combines x into root's x (clobbered elsewhere).
-func (c *Comm) ReduceF64(root int, x []float64, op coll.Op) { coll.Reduce(c, root, x, op, 3) }
-
-// Allgather collects each rank's block into out[r].
-func (c *Comm) Allgather(mine []byte, out [][]byte) { coll.Allgather(c, mine, out, 4) }
-
-// Alltoall exchanges send[r] → rank r into recv[s].
-func (c *Comm) Alltoall(send, recv [][]byte) { coll.Alltoall(c, send, recv, 5) }
-
-// Gather collects blocks at root.
-func (c *Comm) Gather(root int, mine []byte, out [][]byte) { coll.Gather(c, root, mine, out, 6) }
-
-// Scatter distributes blocks[r] from root to rank r's buf (MPI_Scatter;
-// blocks is only read on root).
-func (c *Comm) Scatter(root int, blocks [][]byte, buf []byte) {
-	if c.Rank() == root {
-		copy(buf, blocks[c.Rank()])
-		for r := 0; r < c.Size(); r++ {
-			if r != root {
-				c.SendT(r, 8, blocks[r])
-			}
-		}
-		return
-	}
-	c.RecvT(root, 8, buf)
-}
-
-// ---- schedule selection ------------------------------------------------------
-//
-// Collectives compile to per-rank schedules (internal/coll). When the stack
-// is configured for topology-aware collectives and several ranks share a
-// node, the two-level variants route intra-node traffic over shared memory
-// and let only the per-node leaders touch the network rails.
-
-// twoLevel reports whether the hierarchical variants apply.
-func (c *Comm) twoLevel() bool {
-	if !c.cfg.TwoLevelColl || len(c.cfg.Placement) != c.Size() {
-		return false
-	}
-	return c.cfg.Placement.MaxRanksPerNode(c.cfg.Cluster.NumNodes) > 1
-}
-
-func (c *Comm) barrierSchedule() *coll.Schedule {
-	if c.twoLevel() {
-		return coll.BuildBarrierTwoLevel(c.Rank(), c.cfg.Placement)
-	}
-	return coll.BuildBarrier(c.Rank(), c.Size())
-}
-
-func (c *Comm) bcastSchedule(root int, data []byte) *coll.Schedule {
-	if c.twoLevel() {
-		return coll.BuildBcastTwoLevel(c.Rank(), c.cfg.Placement, root, data)
-	}
-	return coll.BuildBcast(c.Rank(), c.Size(), root, data)
-}
-
-func (c *Comm) allreduceSchedule(x []float64, op coll.Op) *coll.Schedule {
-	if c.twoLevel() {
-		return coll.BuildAllreduceTwoLevel(c.Rank(), c.cfg.Placement, x, op)
-	}
-	return coll.BuildAllreduce(c.Rank(), c.Size(), x, op)
-}
-
-// ---- nonblocking collectives -------------------------------------------------
-//
-// The I* operations compile the same schedules as their blocking
-// counterparts but hand them to the internal/nbc engine: the calling thread
-// issues round 0 and returns immediately; subsequent rounds are driven by
-// the progress engine, so with PIOMan enabled the collective advances on an
-// idle core while the caller computes. The returned *Request composes with
-// Wait, WaitAll, WaitAny and Test.
-
-// nbcTransport adapts the CH3 layer to the nbc engine on the nbc context.
-type nbcTransport struct{ c *Comm }
-
-func (t nbcTransport) Isend(proc *vtime.Proc, dst int, tag int32, data []byte) nbc.Req {
-	return t.c.p.Isend(proc, dst, tag, t.c.nbcCtx, data)
-}
-
-func (t nbcTransport) Irecv(proc *vtime.Proc, src int, tag int32, buf []byte) nbc.Req {
-	return t.c.p.Irecv(proc, src, tag, t.c.nbcCtx, buf)
-}
-
-func (c *Comm) nbcStart(s *coll.Schedule) *Request {
-	if c.nbcEng == nil {
-		c.nbcEng = nbc.NewEngine(c.mgr, nbcTransport{c})
-	}
-	return &Request{c: c, op: c.nbcEng.Start(c.proc, s)}
-}
-
-// Ibarrier starts a nonblocking barrier.
-func (c *Comm) Ibarrier() *Request {
-	return c.nbcStart(c.barrierSchedule())
-}
-
-// Ibcast starts a nonblocking broadcast of data (in place) from root. The
-// buffer must not be touched until the request completes.
-func (c *Comm) Ibcast(root int, data []byte) *Request {
-	return c.nbcStart(c.bcastSchedule(root, data))
-}
-
-// IallreduceF64 starts a nonblocking elementwise allreduce of x in place.
-func (c *Comm) IallreduceF64(x []float64, op coll.Op) *Request {
-	return c.nbcStart(c.allreduceSchedule(x, op))
-}
-
-// Iallgather starts a nonblocking allgather of each rank's block into out[r].
-func (c *Comm) Iallgather(mine []byte, out [][]byte) *Request {
-	return c.nbcStart(coll.BuildAllgather(c.Rank(), c.Size(), mine, out))
-}
-
-// Ialltoall starts a nonblocking alltoall exchange send[r] → rank r.
-func (c *Comm) Ialltoall(send, recv [][]byte) *Request {
-	return c.nbcStart(coll.BuildAlltoall(c.Rank(), c.Size(), send, recv))
-}
-
-// Reduction operators, re-exported.
-var (
-	OpSum = coll.OpSum
-	OpMax = coll.OpMax
-	OpMin = coll.OpMin
-)
-
-// F64Bytes / BytesF64 re-export the wire codec for float64 vectors.
-func F64Bytes(xs []float64) []byte     { return coll.F64Bytes(xs) }
-func BytesF64(dst []float64, b []byte) { coll.BytesF64(dst, b) }

@@ -117,28 +117,24 @@ func (c *Comm) unpackD(user, wire []byte, dt Datatype) {
 // recv[s] (pre-sized by the caller) receives from rank s. This is the
 // primitive the IS kernel needs.
 func (c *Comm) AlltoallvBytes(send, recv [][]byte) {
+	c.checkAlltoall("AlltoallvBytes", send, recv)
 	n := c.Size()
 	rank := c.Rank()
 	copy(recv[rank], send[rank])
 	if n == 1 {
 		return
 	}
+	const tag = 9 // distinct from the schedule-based collectives' tags
 	if n&(n-1) == 0 {
 		for i := 1; i < n; i++ {
 			partner := rank ^ i
-			c.sendrecvColl(partner, send[partner], partner, recv[partner])
+			c.SendRecvT(partner, send[partner], partner, recv[partner], tag)
 		}
 		return
 	}
 	for i := 1; i < n; i++ {
 		dst := (rank + i) % n
 		src := (rank - i + n) % n
-		c.sendrecvColl(dst, send[dst], src, recv[src])
+		c.SendRecvT(dst, send[dst], src, recv[src], tag)
 	}
-}
-
-func (c *Comm) sendrecvColl(dst int, sdata []byte, src int, rbuf []byte) {
-	rr := c.p.Irecv(c.proc, src, 7, c.collCtx, rbuf)
-	sr := c.p.Isend(c.proc, dst, 7, c.collCtx, sdata)
-	c.mgr.WaitUntil(c.proc, func() bool { return rr.Done() && sr.Done() })
 }

@@ -21,16 +21,31 @@
 // Everything runs in deterministic virtual time: Wtime returns simulated
 // seconds and repeated runs produce identical timings.
 //
+// # Collective engine
+//
+// Every collective — blocking or nonblocking — compiles to a per-rank
+// schedule (rounds of {send, recv, copy, reduce} primitives) through the
+// internal/coll registry. The algorithm is selected per invocation from
+// payload size, rank count and topology: binomial vs scatter-allgather
+// broadcast, recursive-doubling vs Rabenseifner allreduce, Bruck vs ring
+// allgather, flat vs two-level hierarchical variants (the selection table
+// lives in internal/coll/README.md, tunable via Config.Coll).
+//
+// Schedules are persistent: each communicator caches compiled schedules by
+// shape (operation, algorithm, root, counts), so a collective repeated in a
+// loop compiles exactly once — later invocations rebind the cached
+// schedule to the new buffers and re-execute it. Compilation is host work,
+// invisible to virtual time, so cached and uncached runs produce identical
+// simulated timings (Config.NoSchedCache turns the cache off to verify).
+//
 // # Nonblocking collectives
 //
-// Ibarrier, Ibcast, IallreduceF64, Iallgather and Ialltoall return a
-// *Request composable with Wait, WaitAll, WaitAny and Test. Each collective
-// is compiled by internal/coll into a per-rank schedule — rounds of
-// {send, recv, copy, reduce} primitives — and executed by the internal/nbc
-// engine over the CH3 nonblocking layer. The calling thread issues round 0;
-// every later round starts from the progress engine, so the schedule's
-// advancement follows the stack's progress regime exactly as the paper's
-// §3.3 describes for point-to-point:
+// Ibarrier, Ibcast, IallreduceF64, IreduceF64, Iallgather, Ialltoall,
+// Igather and Iscatter return a *Request composable with Wait, WaitAll,
+// WaitAny and Test. The calling thread issues round 0; every later round
+// starts from the progress engine, so the schedule's advancement follows
+// the stack's progress regime exactly as the paper's §3.3 describes for
+// point-to-point:
 //
 //   - with PIOMan, the background progress thread picks rounds up on an
 //     idle core and the collective overlaps with Compute;
@@ -43,9 +58,19 @@
 //	c.Compute(300e-6) // overlaps with the allreduce under PIOMan
 //	c.Wait(q)
 //
+// # Sub-communicators
+//
+// Comm.Dup derives a same-group communicator over fresh contexts;
+// Comm.Split partitions the group by color, renumbering each part's
+// members 0..Size()-1 (SplitNode and SplitLeaders build the node/leader
+// communicators of the two-level decomposition). Contexts isolate matching
+// completely: traffic on one communicator never matches receives on
+// another, even with identical tags.
+//
 // Config.TwoLevelColl selects topology-aware collectives: when several
 // ranks share a node, the intra-node phase runs over shared memory and only
-// one leader per node touches the network rails.
+// one leader per node touches the network rails (Barrier, Bcast,
+// AllreduceF64, Allgather, Alltoall and their nonblocking counterparts).
 package mpi
 
 import (
@@ -53,6 +78,7 @@ import (
 
 	"repro/cluster"
 	"repro/internal/ch3"
+	"repro/internal/coll"
 	"repro/internal/core"
 	"repro/internal/marcel"
 	"repro/internal/nemesis"
@@ -81,9 +107,19 @@ type Config struct {
 	NP int
 	// TwoLevelColl enables the topology-aware two-level collectives: the
 	// intra-node phase runs over shared memory, only per-node leaders touch
-	// the network rails. Applies to Barrier/Bcast/AllreduceF64 and their
-	// nonblocking counterparts when several ranks share a node.
+	// the network rails. Applies to Barrier, Bcast, AllreduceF64, Allgather,
+	// Alltoall and their nonblocking counterparts when several ranks share a
+	// node.
 	TwoLevelColl bool
+	// Coll tunes collective algorithm selection (thresholds, forced
+	// algorithms). The zero value selects the defaults documented in
+	// internal/coll/README.md.
+	Coll coll.Tuning
+	// NoSchedCache disables the per-communicator persistent-schedule cache,
+	// recompiling every collective invocation. Virtual-time results are
+	// identical either way; the switch exists for verification and
+	// benchmarking.
+	NoSchedCache bool
 }
 
 // RailStat summarizes one rail's traffic after a run.
