@@ -14,12 +14,19 @@ import (
 // payload per rank, averaged over Iters, on NP ranks block-placed so the
 // topology-aware variants have co-located ranks to aggregate.
 type CollBenchOptions struct {
-	// Op is one of "bcast", "allreduce", "allgather", "alltoall".
+	// Op is one of "bcast", "allreduce", "allgather", "alltoall", or the
+	// vector ops "alltoallv", "allgatherv", "reducescatter".
 	Op string
 	// Bytes is the per-rank payload: the full buffer for bcast, the vector
 	// bytes for allreduce (rounded down to whole float64s), the per-rank
-	// block for allgather/alltoall.
+	// block for allgather/alltoall, and the average per-rank block for the
+	// vector ops (the skew redistributes it).
 	Bytes int
+	// Skew shapes the vector ops' per-rank counts: "uniform" (or empty),
+	// "linear" (counts ramp from zero to twice the average across rank
+	// pairs, zero-length blocks included) or "sparse" (everything
+	// concentrated on self and right neighbour, the rest empty).
+	Skew string
 	// Iters averages over this many repetitions (after one warmup).
 	Iters int
 	// NP is the number of ranks.
@@ -59,8 +66,8 @@ type CollBenchResult struct {
 	Compiles, Hits int64
 }
 
-// opKindOf maps the benchmark op name to the registry's kind.
-func opKindOf(op string) (coll.OpKind, error) {
+// OpKindOf maps the benchmark op name to the registry's kind.
+func OpKindOf(op string) (coll.OpKind, error) {
 	switch op {
 	case "bcast":
 		return coll.OpBcast, nil
@@ -70,16 +77,85 @@ func opKindOf(op string) (coll.OpKind, error) {
 		return coll.OpAllgather, nil
 	case "alltoall":
 		return coll.OpAlltoall, nil
+	case "alltoallv":
+		return coll.OpAlltoallv, nil
+	case "allgatherv":
+		return coll.OpAllgatherv, nil
+	case "reducescatter":
+		return coll.OpReduceScatter, nil
 	}
 	return 0, fmt.Errorf("bench: unknown collective %q", op)
+}
+
+// alltoallvLayout derives rank me's alltoallv arguments under a skew: the
+// send row and receive column of the count matrix plus packed flat buffers.
+func alltoallvLayout(skew string, np, bytes, me int) (scounts, rcounts []int, sbuf, rbuf []byte) {
+	scounts, _ = VecCounts(skew, np, bytes, me)
+	rcounts = make([]int, np)
+	for s := range rcounts {
+		row, _ := VecCounts(skew, np, bytes, s)
+		rcounts[s] = row[me]
+	}
+	return scounts, rcounts, make([]byte, sumCounts(scounts)), make([]byte, sumCounts(rcounts))
+}
+
+// allgathervLayout derives the global allgatherv count vector under a skew
+// plus rank me's contribution and the flat receive buffer.
+func allgathervLayout(skew string, np, bytes, me int) (counts []int, mine, rbuf []byte) {
+	counts, _ = VecCounts(skew, np, bytes, 0)
+	return counts, make([]byte, counts[me]), make([]byte, sumCounts(counts))
+}
+
+// reduceScatterLayout derives the global reduce-scatter element counts
+// under a skew (bytes averaged per rank, in float64 elements) plus rank
+// me's input vector and result segment.
+func reduceScatterLayout(skew string, np, bytes, me int) (counts []int, x, recv []float64) {
+	bcounts, _ := VecCounts(skew, np, bytes, 0)
+	counts = make([]int, np)
+	for r := range counts {
+		counts[r] = bcounts[r] / 8
+	}
+	return counts, make([]float64, sumCounts(counts)), make([]float64, counts[me])
+}
+
+// VecCounts returns the per-destination byte counts rank src sends under a
+// skew pattern, averaging ~bytes per destination. The pattern depends only
+// on (src, dst, np), so every rank can derive both its send row and its
+// receive column of the count matrix — the global-consistency requirement
+// of the vector collectives.
+func VecCounts(skew string, np, bytes, src int) ([]int, error) {
+	counts := make([]int, np)
+	switch skew {
+	case "", "uniform":
+		for d := range counts {
+			counts[d] = bytes
+		}
+	case "linear":
+		div := np - 1
+		if div < 1 {
+			div = 1
+		}
+		for d := range counts {
+			counts[d] = bytes * 2 * ((src + d) % np) / div
+		}
+	case "sparse":
+		counts[src] = bytes * np / 2
+		counts[(src+1)%np] = bytes * np / 2
+	default:
+		return nil, fmt.Errorf("bench: unknown skew %q", skew)
+	}
+	return counts, nil
 }
 
 // CollBenchOnce measures one stack at one (op, payload, algorithm, cache)
 // configuration.
 func CollBenchOnce(stack cluster.Stack, o CollBenchOptions) (CollBenchResult, error) {
 	o = o.withDefaults()
-	kind, err := opKindOf(o.Op)
+	kind, err := OpKindOf(o.Op)
 	if err != nil {
+		return CollBenchResult{}, err
+	}
+	if _, err := VecCounts(o.Skew, o.NP, o.Bytes, 0); err != nil {
 		return CollBenchResult{}, err
 	}
 	cfg := mpi.Config{
@@ -121,6 +197,15 @@ func CollBenchOnce(stack cluster.Stack, o CollBenchOptions) (CollBenchResult, er
 				recv[r] = make([]byte, o.Bytes)
 			}
 			body = func() { c.Alltoall(send, recv) }
+		case coll.OpAlltoallv:
+			scounts, rcounts, sbuf, rbuf := alltoallvLayout(o.Skew, np, o.Bytes, c.Rank())
+			body = func() { c.Alltoallv(sbuf, scounts, nil, rbuf, rcounts, nil) }
+		case coll.OpAllgatherv:
+			counts, mine, rbuf := allgathervLayout(o.Skew, np, o.Bytes, c.Rank())
+			body = func() { c.Allgatherv(mine, rbuf, counts, nil) }
+		case coll.OpReduceScatter:
+			counts, x, recv := reduceScatterLayout(o.Skew, np, o.Bytes, c.Rank())
+			body = func() { c.ReduceScatterF64(x, recv, counts, mpi.OpSum) }
 		}
 		body() // warmup: connections settle, schedule compiles
 		c.Barrier()
@@ -138,4 +223,12 @@ func CollBenchOnce(stack cluster.Stack, o CollBenchOptions) (CollBenchResult, er
 		return res, err
 	}
 	return res, nil
+}
+
+func sumCounts(counts []int) int {
+	t := 0
+	for _, n := range counts {
+		t += n
+	}
+	return t
 }

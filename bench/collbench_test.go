@@ -45,3 +45,67 @@ func TestCollBenchForcedAlgo(t *testing.T) {
 		t.Errorf("forced algorithms produced identical timings (%g): force ignored?", rd.PerOp)
 	}
 }
+
+// TestCollBenchVectorOps: the irregular-counts mode runs every vector op
+// across skews with the cache compiling once per shape, and cached/uncached
+// virtual times agree (determinism guarantee on irregular schedules).
+func TestCollBenchVectorOps(t *testing.T) {
+	for _, op := range []string{"alltoallv", "allgatherv", "reducescatter"} {
+		for _, skew := range []string{"uniform", "linear", "sparse"} {
+			cached, err := CollBenchOnce(cluster.MPICH2NmadIB(), CollBenchOptions{
+				Op: op, Skew: skew, Bytes: 2048, Iters: 3, NP: 4,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", op, skew, err)
+			}
+			if cached.PerOp <= 0 {
+				t.Errorf("%s/%s: per-op time %g", op, skew, cached.PerOp)
+			}
+			if cached.Hits < 3 {
+				t.Errorf("%s/%s: only %d cache hits over 3 iterations", op, skew, cached.Hits)
+			}
+			uncached, err := CollBenchOnce(cluster.MPICH2NmadIB(), CollBenchOptions{
+				Op: op, Skew: skew, Bytes: 2048, Iters: 3, NP: 4, NoCache: true,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s uncached: %v", op, skew, err)
+			}
+			if cached.PerOp != uncached.PerOp {
+				t.Errorf("%s/%s: cached %g != uncached %g", op, skew, cached.PerOp, uncached.PerOp)
+			}
+		}
+	}
+}
+
+// TestCollBenchBadSkew: unknown skews error instead of silently running
+// uniform.
+func TestCollBenchBadSkew(t *testing.T) {
+	if _, err := CollBenchOnce(cluster.MPICH2NmadIB(), CollBenchOptions{
+		Op: "alltoallv", Skew: "zipf", NP: 4,
+	}); err == nil {
+		t.Fatal("unknown skew must error")
+	}
+}
+
+// TestNbcOverlapVectorOps: the overlap harness drives the nonblocking
+// vector collectives; with PIOMan the irregular schedules progress in the
+// background.
+func TestNbcOverlapVectorOps(t *testing.T) {
+	for _, op := range []string{"alltoallv", "allgatherv", "reducescatter"} {
+		r, err := NbcOverlapOnce(cluster.MPICH2NmadIB().WithPIOMan(true), NbcOverlapOptions{
+			Op: op, Elems: 8 << 10, Iters: 2, NP: 4,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		if r.CommOnly <= 0 || r.Blocking <= 0 || r.Nonblocking <= 0 {
+			t.Fatalf("%s: degenerate timings %+v", op, r)
+		}
+		if ratio := r.OverlapRatio(); ratio < 0.3 {
+			t.Errorf("%s: overlap ratio %.2f under PIOMan, want >= 0.3", op, ratio)
+		}
+	}
+	if _, err := NbcOverlapOnce(cluster.MPICH2NmadIB(), NbcOverlapOptions{Op: "bogus"}); err == nil {
+		t.Fatal("unknown overlap op must error")
+	}
+}

@@ -15,6 +15,10 @@ import (
 // hides the collective behind the computation; a progress-less stack pays
 // both in full.
 type NbcOverlapOptions struct {
+	// Op selects the collective: "allreduce" (default), or the vector ops
+	// "alltoallv", "allgatherv", "reducescatter", which run a linear-skew
+	// irregular count layout totalling ~8·Elems bytes per rank.
+	Op string
 	// Elems is the allreduce vector length in float64 elements (8 bytes
 	// each: 4096 elements = 32 KB on the wire, the eager/rendezvous switch
 	// point of the nmad stacks).
@@ -87,12 +91,12 @@ func NbcOverlapOnce(stack cluster.Stack, o NbcOverlapOptions) (NbcOverlapResult,
 		Placement: topo.RoundRobin(o.NP, cluster.Xeon2().NumNodes),
 	}
 	res := NbcOverlapResult{Compute: o.ComputeUS * 1e-6}
+	if _, err := overlapBodies(nil, o); err != nil {
+		return res, err
+	}
 	var comm, blk, nbc float64
 	_, err := mpi.Run(cfg, func(c *mpi.Comm) {
-		x := make([]float64, o.Elems)
-		for i := range x {
-			x[i] = float64(c.Rank() + i)
-		}
+		body, _ := overlapBodies(c, o)
 		measure := func(f func()) float64 {
 			var total float64
 			for i := 0; i < o.Iters; i++ {
@@ -103,16 +107,17 @@ func NbcOverlapOnce(stack cluster.Stack, o NbcOverlapOptions) (NbcOverlapResult,
 			}
 			return total / float64(o.Iters)
 		}
-		// Warmup: one full collective so connections and buffers settle.
-		c.AllreduceF64(x, mpi.OpSum)
+		// Warmup: one full collective so connections and buffers settle,
+		// and the schedule compiles into the cache.
+		body.run()
 
-		co := measure(func() { c.AllreduceF64(x, mpi.OpSum) })
+		co := measure(body.run)
 		bl := measure(func() {
-			c.AllreduceF64(x, mpi.OpSum)
+			body.run()
 			c.Compute(o.ComputeUS * 1e-6)
 		})
 		nb := measure(func() {
-			q := c.IallreduceF64(x, mpi.OpSum)
+			q := body.start()
 			c.Compute(o.ComputeUS * 1e-6)
 			c.Wait(q)
 		})
@@ -125,6 +130,58 @@ func NbcOverlapOnce(stack cluster.Stack, o NbcOverlapOptions) (NbcOverlapResult,
 	}
 	res.CommOnly, res.Blocking, res.Nonblocking = comm, blk, nbc
 	return res, nil
+}
+
+// overlapBody pairs one collective's blocking form with its nonblocking
+// starter over fixed buffers.
+type overlapBody struct {
+	run   func()
+	start func() *mpi.Request
+}
+
+// overlapBodies builds the measured collective for o.Op on c. A nil Comm
+// only validates the op name. The vector ops use the linear skew so the
+// nonblocking path exercises irregular schedules, zero-length blocks
+// included.
+func overlapBodies(c *mpi.Comm, o NbcOverlapOptions) (overlapBody, error) {
+	switch o.Op {
+	case "", "allreduce", "alltoallv", "allgatherv", "reducescatter":
+	default:
+		return overlapBody{}, fmt.Errorf("bench: unknown overlap op %q", o.Op)
+	}
+	if c == nil {
+		return overlapBody{}, nil
+	}
+	np, rank := c.Size(), c.Rank()
+	b := 8 * o.Elems / np
+	switch o.Op {
+	case "alltoallv":
+		scounts, rcounts, sbuf, rbuf := alltoallvLayout("linear", np, b, rank)
+		return overlapBody{
+			run:   func() { c.Alltoallv(sbuf, scounts, nil, rbuf, rcounts, nil) },
+			start: func() *mpi.Request { return c.Ialltoallv(sbuf, scounts, nil, rbuf, rcounts, nil) },
+		}, nil
+	case "allgatherv":
+		counts, mine, rbuf := allgathervLayout("linear", np, b, rank)
+		return overlapBody{
+			run:   func() { c.Allgatherv(mine, rbuf, counts, nil) },
+			start: func() *mpi.Request { return c.Iallgatherv(mine, rbuf, counts, nil) },
+		}, nil
+	case "reducescatter":
+		counts, x, recv := reduceScatterLayout("linear", np, b, rank)
+		return overlapBody{
+			run:   func() { c.ReduceScatterF64(x, recv, counts, mpi.OpSum) },
+			start: func() *mpi.Request { return c.IreduceScatterF64(x, recv, counts, mpi.OpSum) },
+		}, nil
+	}
+	x := make([]float64, o.Elems)
+	for i := range x {
+		x[i] = float64(rank + i)
+	}
+	return overlapBody{
+		run:   func() { c.AllreduceF64(x, mpi.OpSum) },
+		start: func() *mpi.Request { return c.IallreduceF64(x, mpi.OpSum) },
+	}, nil
 }
 
 // NbcOverlapSweep measures a stack across vector sizes and returns a series

@@ -3,8 +3,12 @@
 // wall time and schedule-cache counters. It demonstrates the two wins of
 // the per-communicator engine: tuned algorithm selection (the "auto" row
 // tracks the best forced algorithm at every size) and schedule caching
-// (compiles stay flat while iterations grow). -json emits machine-readable
-// rows for the perf trajectory (BENCH_*.json).
+// (compiles stay flat while iterations grow). The vector collectives
+// (alltoallv, allgatherv, reducescatter) additionally sweep count skews —
+// uniform, linear (zero blocks included) and sparse — so selection
+// regressions on irregular layouts surface. -ops and -sizes restrict the
+// grid (the CI smoke step runs only the vector ops at one size); -json
+// emits machine-readable rows for the perf trajectory (BENCH_*.json).
 package main
 
 import (
@@ -13,6 +17,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/bench"
 	"repro/cluster"
@@ -23,6 +29,7 @@ import (
 type row struct {
 	Op       string  `json:"op"`
 	Algo     string  `json:"algo"`
+	Skew     string  `json:"skew,omitempty"`
 	Bytes    int     `json:"bytes"`
 	TwoLevel bool    `json:"two_level"`
 	Cache    bool    `json:"cache"`
@@ -35,26 +42,56 @@ type row struct {
 // candidates lists the forced algorithms worth sweeping per operation;
 // AlgoAuto is always measured first as the selector's pick.
 var candidates = map[string][]coll.Algo{
-	"bcast":     {coll.AlgoBinomial, coll.AlgoScatterAllgather, coll.AlgoTwoLevel},
-	"allreduce": {coll.AlgoRecDoubling, coll.AlgoRabenseifner, coll.AlgoTwoLevel},
-	"allgather": {coll.AlgoBruck, coll.AlgoRing, coll.AlgoTwoLevel},
-	"alltoall":  {coll.AlgoPairwise, coll.AlgoTwoLevel},
+	"bcast":         {coll.AlgoBinomial, coll.AlgoScatterAllgather, coll.AlgoTwoLevel},
+	"allreduce":     {coll.AlgoRecDoubling, coll.AlgoRabenseifner, coll.AlgoTwoLevel},
+	"allgather":     {coll.AlgoBruck, coll.AlgoRing, coll.AlgoTwoLevel},
+	"alltoall":      {coll.AlgoPairwise, coll.AlgoTwoLevel},
+	"alltoallv":     {coll.AlgoPairwise, coll.AlgoRing},
+	"allgatherv":    {coll.AlgoBruck, coll.AlgoRing, coll.AlgoTwoLevel},
+	"reducescatter": {coll.AlgoRecHalving, coll.AlgoPairwise},
+}
+
+// vecSkews is the irregular-counts dimension swept for the vector ops.
+var vecSkews = []string{"uniform", "linear", "sparse"}
+
+// isVector reports whether op takes per-rank counts.
+func isVector(op string) bool {
+	switch op {
+	case "alltoallv", "allgatherv", "reducescatter":
+		return true
+	}
+	return false
 }
 
 func main() {
 	np := flag.Int("np", 8, "number of ranks (block-placed over two nodes)")
 	iters := flag.Int("iters", 10, "iterations per measurement")
+	opsFlag := flag.String("ops",
+		"bcast,allreduce,allgather,alltoall,alltoallv,allgatherv,reducescatter",
+		"comma-separated operations to sweep")
+	sizesFlag := flag.String("sizes", "256,4096,65536,524288",
+		"comma-separated payload sizes in bytes")
 	jsonOut := flag.Bool("json", false, "emit JSON rows instead of the table")
 	flag.Parse()
 
-	sizes := []int{256, 4 << 10, 64 << 10, 512 << 10}
-	ops := []string{"bcast", "allreduce", "allgather", "alltoall"}
+	var sizes []int
+	for _, f := range strings.Split(*sizesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			log.Fatalf("bad size %q", f)
+		}
+		sizes = append(sizes, n)
+	}
+	ops := strings.Split(*opsFlag, ",")
+	for i := range ops {
+		ops[i] = strings.TrimSpace(ops[i])
+	}
 	stack := cluster.MPICH2NmadIB()
 
 	var rows []row
-	measure := func(op string, algo coll.Algo, bytes int, cache bool) row {
+	measure := func(op string, algo coll.Algo, skew string, bytes int, cache bool) row {
 		o := bench.CollBenchOptions{
-			Op: op, Bytes: bytes, Iters: *iters, NP: *np,
+			Op: op, Bytes: bytes, Iters: *iters, NP: *np, Skew: skew,
 			TwoLevel: algo == coll.AlgoTwoLevel,
 			NoCache:  !cache,
 		}
@@ -63,20 +100,32 @@ func main() {
 		}
 		r, err := bench.CollBenchOnce(stack, o)
 		if err != nil {
-			log.Fatalf("%s/%s/%dB: %v", op, algo, bytes, err)
+			log.Fatalf("%s/%s/%s/%dB: %v", op, algo, skew, bytes, err)
 		}
-		return row{Op: op, Algo: algo.String(), Bytes: bytes,
+		return row{Op: op, Algo: algo.String(), Skew: skew, Bytes: bytes,
 			TwoLevel: algo == coll.AlgoTwoLevel, Cache: cache,
 			PerOpUS: r.PerOp * 1e6, HostMS: r.HostMS,
 			Compiles: r.Compiles, Hits: r.Hits}
 	}
 
 	for _, op := range ops {
+		skews := []string{""}
+		if isVector(op) {
+			skews = vecSkews
+		}
 		for _, bytes := range sizes {
-			rows = append(rows, measure(op, coll.AlgoAuto, bytes, true))
-			rows = append(rows, measure(op, coll.AlgoAuto, bytes, false))
-			for _, algo := range candidates[op] {
-				rows = append(rows, measure(op, algo, bytes, true))
+			for _, skew := range skews {
+				rows = append(rows, measure(op, coll.AlgoAuto, skew, bytes, true))
+				rows = append(rows, measure(op, coll.AlgoAuto, skew, bytes, false))
+				for _, algo := range candidates[op] {
+					// Skip forced picks the builder would silently replace
+					// at this rank count — they duplicate another row under
+					// a misleading label.
+					if kind, err := bench.OpKindOf(op); err == nil && coll.FallsBack(kind, algo, *np) {
+						continue
+					}
+					rows = append(rows, measure(op, algo, skew, bytes, true))
+				}
 			}
 		}
 	}
@@ -92,8 +141,8 @@ func main() {
 
 	fmt.Printf("collective engine sweep (np=%d, %s, block placement, %d iters)\n\n",
 		*np, stack.Name, *iters)
-	fmt.Printf("%-10s %-18s %-10s %-6s %12s %10s %9s/%-5s\n",
-		"op", "algo", "size", "cache", "per-op", "host", "compiles", "hits")
+	fmt.Printf("%-14s %-18s %-8s %-10s %-6s %12s %10s %9s/%-5s\n",
+		"op", "algo", "skew", "size", "cache", "per-op", "host", "compiles", "hits")
 	autoBest := 0.0
 	for _, r := range rows {
 		cacheLbl := "on"
@@ -106,8 +155,12 @@ func main() {
 		} else if r.Cache && r.PerOpUS < autoBest {
 			marker = "  << beats auto"
 		}
-		fmt.Printf("%-10s %-18s %-10s %-6s %10.1fµs %8.0fms %9d/%-5d%s\n",
-			r.Op, r.Algo, bench.SizeLabel(float64(r.Bytes)), cacheLbl,
+		skew := r.Skew
+		if skew == "" {
+			skew = "-"
+		}
+		fmt.Printf("%-14s %-18s %-8s %-10s %-6s %10.1fµs %8.0fms %9d/%-5d%s\n",
+			r.Op, r.Algo, skew, bench.SizeLabel(float64(r.Bytes)), cacheLbl,
 			r.PerOpUS, r.HostMS, r.Compiles, r.Hits, marker)
 	}
 	fmt.Println("\ncache=on rows compile once and rebind; cache=off rows recompile per call;")

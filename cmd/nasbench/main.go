@@ -1,8 +1,10 @@
 // Command nasbench regenerates the NAS panels of Fig. 8: per process count
 // (8/9, 16, 32/36, 64), execution times of the BT, CG, EP, FT, SP, MG and LU
 // class C kernels under MVAPICH2, Open MPI, MPICH2-NMad and MPICH2-NMad with
-// PIOMan. IS is omitted as in the paper. Smaller classes (-class A/B/S) run
-// much faster and keep the same relative shapes.
+// PIOMan — plus IS, the kernel the paper could not run, now that its
+// alltoallv compiles through the schedule engine (drop it from -kernels for
+// the strict Fig. 8 set). Smaller classes (-class A/B/S) run much faster
+// and keep the same relative shapes.
 package main
 
 import (
@@ -19,7 +21,7 @@ import (
 func main() {
 	classFlag := flag.String("class", "C", "problem class: S, A, B or C")
 	npFlag := flag.String("np", "8,16,32,64", "comma-separated process counts")
-	kernFlag := flag.String("kernels", "BT,CG,EP,FT,SP,MG,LU", "kernels to run")
+	kernFlag := flag.String("kernels", "BT,CG,EP,FT,SP,MG,LU,IS", "kernels to run")
 	flag.Parse()
 
 	class := nas.Class((*classFlag)[0])

@@ -1,6 +1,8 @@
 // Command nbcoverlap measures how much of a nonblocking collective a stack
-// hides behind computation: every rank runs IallreduceF64 + Compute + Wait
-// and the total is compared with the blocking sequence. The overlap ratio is
+// hides behind computation: every rank starts the collective (-op selects
+// IallreduceF64, or the vector ops Ialltoallv / Iallgatherv /
+// IreduceScatterF64 on a linear-skew irregular layout), computes, then
+// waits, and the total is compared with the blocking sequence. The overlap ratio is
 // the fraction of the hideable time (min of collective, compute) actually
 // hidden. With PIOMan the schedule engine advances collective rounds on the
 // background progress thread, so the ratio climbs; without it the rounds
@@ -21,6 +23,7 @@ import (
 
 // row is one measurement, JSON-shaped for BENCH_*.json.
 type row struct {
+	Op            string  `json:"op"`
 	Bytes         int     `json:"bytes"`
 	PIOMan        bool    `json:"pioman"`
 	CommUS        float64 `json:"comm_us"`
@@ -30,6 +33,8 @@ type row struct {
 }
 
 func main() {
+	opFlag := flag.String("op", "allreduce",
+		"collective to overlap: allreduce, alltoallv, allgatherv, reducescatter")
 	computeUS := flag.Float64("compute", 300, "injected computation in µs")
 	iters := flag.Int("iters", 5, "iterations per measurement")
 	np := flag.Int("np", 2, "number of ranks")
@@ -38,11 +43,11 @@ func main() {
 
 	elemSizes := []int{512, 4 << 10, 32 << 10, 128 << 10} // 4K .. 1MB payloads
 	base := cluster.MPICH2NmadIB()
-	o := bench.NbcOverlapOptions{ComputeUS: *computeUS, Iters: *iters, NP: *np}
+	o := bench.NbcOverlapOptions{Op: *opFlag, ComputeUS: *computeUS, Iters: *iters, NP: *np}
 
 	if !*jsonOut {
-		fmt.Printf("IallreduceF64 + %gµs compute + Wait vs blocking sequence (np=%d, %s)\n\n",
-			*computeUS, *np, base.Name)
+		fmt.Printf("nonblocking %s + %gµs compute + Wait vs blocking sequence (np=%d, %s)\n\n",
+			*opFlag, *computeUS, *np, base.Name)
 		fmt.Printf("%-10s %14s %14s %14s %10s %10s\n",
 			"size", "comm alone", "blocking seq", "nonblocking", "overlap", "pioman")
 	}
@@ -60,7 +65,7 @@ func main() {
 			}
 			ratios[i] = r.OverlapRatio()
 			rows = append(rows, row{
-				Bytes: 8 * elems, PIOMan: i == 1,
+				Op: *opFlag, Bytes: 8 * elems, PIOMan: i == 1,
 				CommUS: r.CommOnly * 1e6, BlockingUS: r.Blocking * 1e6,
 				NonblockingUS: r.Nonblocking * 1e6, OverlapRatio: r.OverlapRatio(),
 			})

@@ -78,11 +78,22 @@ func rabWindow(rank, size, n int) (lo, hi int) {
 	return lo, hi
 }
 
+// rabBoundaries expands rabWindow into the size+1 ascending boundary array
+// the shared reduce-scatter builder consumes: rank r owns [win[r], win[r+1]).
+func rabBoundaries(size, n int) []int {
+	win := make([]int, size+1)
+	for r := 0; r < size; r++ {
+		win[r], _ = rabWindow(r, size, n)
+	}
+	win[size] = n
+	return win
+}
+
 // BuildAllreduceRabenseifner compiles the large-vector allreduce:
-// reduce-scatter by recursive halving, then allgather by recursive doubling,
-// moving ~2n elements per rank instead of recursive doubling's n·log p.
-// Power-of-two sizes only; anything else falls back to recursive doubling.
-// Commutative op only.
+// reduce-scatter by recursive halving (the shared first-class builder in
+// vector.go), then allgather by recursive doubling, moving ~2n elements per
+// rank instead of recursive doubling's n·log p. Power-of-two sizes only;
+// anything else falls back to recursive doubling. Commutative op only.
 func BuildAllreduceRabenseifner(rank, size int, x []float64, op Op) *Schedule {
 	s := &Schedule{}
 	if size == 1 {
@@ -93,37 +104,20 @@ func BuildAllreduceRabenseifner(rank, size int, x []float64, op Op) *Schedule {
 		return s
 	}
 	n := len(x)
+	win := rabBoundaries(size, n)
 	rbuf := make([]byte, 8*((n+1)/2))
 
-	// Phase 1: reduce-scatter by recursive halving. Each step exchanges the
-	// half of the current window the partner keeps and folds the received
-	// half in; partners share identical [lo, hi) histories because they only
-	// differ in the current mask bit.
-	lo, hi := 0, n
-	for mask := size >> 1; mask >= 1; mask >>= 1 {
-		partner := rank ^ mask
-		mid := lo + (hi-lo)/2
-		keepLo, keepHi, sendLo, sendHi := lo, mid, mid, hi
-		if rank&mask != 0 {
-			keepLo, keepHi, sendLo, sendHi = mid, hi, lo, mid
-		}
-		rd := s.round()
-		rd.Comm = append(rd.Comm,
-			sendF64(partner, x[sendLo:sendHi]),
-			recvP(partner, rbuf[:8*(keepHi-keepLo)]))
-		rd.Local = append(rd.Local, reduceP(x[keepLo:keepHi], rbuf, op))
-		lo, hi = keepLo, keepHi
-	}
+	// Phase 1: reduce-scatter by recursive halving over the rabWindow
+	// boundaries — the same builder the first-class ReduceScatter op uses.
+	halvingReduceScatter(s, rank, size, x, win, rbuf, op)
 
 	// Phase 2: allgather by recursive doubling. At step mask each rank holds
 	// the union of the final windows of its aligned block of mask ranks and
 	// swaps it with the partner block's union.
 	for mask := 1; mask < size; mask <<= 1 {
 		partner := rank ^ mask
-		myLo, _ := rabWindow(rank&^(mask-1), size, n)
-		_, myHi := rabWindow(rank|(mask-1), size, n)
-		pLo, _ := rabWindow(partner&^(mask-1), size, n)
-		_, pHi := rabWindow(partner|(mask-1), size, n)
+		myLo, myHi := win[rank&^(mask-1)], win[(rank|(mask-1))+1]
+		pLo, pHi := win[partner&^(mask-1)], win[(partner|(mask-1))+1]
 		rd := s.round()
 		rd.Comm = append(rd.Comm,
 			sendF64(partner, x[myLo:myHi]),

@@ -51,6 +51,9 @@ func (a Args) BufArgs() BufArgs {
 	if len(a.X) > 0 {
 		ba.F64 = append(ba.F64, a.X)
 	}
+	if len(a.RecvF64) > 0 {
+		ba.F64 = append(ba.F64, a.RecvF64)
+	}
 	return ba
 }
 
@@ -78,6 +81,7 @@ func rebindPrims(prims []Prim, old, new BufArgs) {
 		pr.Dst = rebindBytes(pr.Dst, old.Bytes, new.Bytes)
 		pr.In = rebindBytes(pr.In, old.Bytes, new.Bytes)
 		pr.AccF64 = rebindF64(pr.AccF64, old.F64, new.F64)
+		pr.SrcF64 = rebindF64(pr.SrcF64, old.F64, new.F64)
 		if pr.Op != nil && new.Op != nil {
 			pr.Op = new.Op
 		}

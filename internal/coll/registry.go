@@ -18,12 +18,18 @@ const (
 	OpAlltoall
 	OpGather
 	OpScatter
+	OpAlltoallv
+	OpAllgatherv
+	OpGatherv
+	OpScatterv
+	OpReduceScatter
 	numOps
 )
 
 var opNames = [numOps]string{
 	"barrier", "bcast", "reduce", "allreduce",
 	"allgather", "alltoall", "gather", "scatter",
+	"alltoallv", "allgatherv", "gatherv", "scatterv", "reduce-scatter",
 }
 
 func (o OpKind) String() string {
@@ -49,13 +55,14 @@ const (
 	AlgoPairwise
 	AlgoLinear
 	AlgoTwoLevel
+	AlgoRecHalving
 	numAlgos
 )
 
 var algoNames = [numAlgos]string{
 	"auto", "dissemination", "binomial", "scatter-allgather",
 	"recursive-doubling", "rabenseifner", "ring", "bruck",
-	"pairwise", "linear", "two-level",
+	"pairwise", "linear", "two-level", "recursive-halving",
 }
 
 func (a Algo) String() string {
@@ -68,7 +75,12 @@ func (a Algo) String() string {
 // Args carries one invocation's parameters into a registered builder. Only
 // the fields an operation uses are read: Data for bcast, X/Op for the
 // reductions, Mine/Out for allgather and gather, Send for scatter's blocks,
-// Send/Recv for alltoall, Nodes for the two-level variants.
+// Send/Recv for alltoall, Nodes for the two-level variants. The vector ops
+// add per-rank count vectors: Send/Recv/Out hold the variable-length block
+// views (sliced from flat buffers by Blocks) whose lengths the cache
+// signature serializes, and reduce-scatter reads the full input vector
+// from X, the element counts from RCounts and lands the result segment in
+// RecvF64.
 type Args struct {
 	Rank, Size int
 	Root       int
@@ -83,6 +95,24 @@ type Args struct {
 	Out  [][]byte
 	Send [][]byte
 	Recv [][]byte
+
+	// RCounts are the vector ops' per-rank receive counts (bytes; float64
+	// elements for reduce-scatter). They drive allgatherv's size-based
+	// selection and reduce-scatter's signature and halving windows — the
+	// other vector ops' counts are fully carried by their Send/Recv/Out
+	// view lengths, which sigOf serializes. RecvF64 is the reduce-scatter
+	// result segment of RCounts[Rank] elements.
+	RCounts []int
+	RecvF64 []float64
+
+	// SDispls is set (and folded into the signature) only when the caller's
+	// send blocks overlap in the flat buffer — legal for sends, since they
+	// are only read. Disjoint layouts rebind positionally whatever their
+	// displacements, but overlapping regions make pointer-containment
+	// rebinding ambiguous, so aliased layouts key on their exact
+	// displacements instead. (Overlapping *receive* blocks are rejected at
+	// the mpi entry points: they would corrupt data, not just the cache.)
+	SDispls []int
 }
 
 // Builder compiles one rank's schedule for one (op, algorithm) pair.
@@ -141,6 +171,37 @@ func init() {
 	})
 	Register(OpScatter, AlgoLinear, func(a Args) *Schedule {
 		return BuildScatter(a.Rank, a.Size, a.Root, a.Send, a.Mine)
+	})
+
+	// Vector ops. Alltoallv and reduce-scatter have dedicated builders;
+	// allgatherv, gatherv and scatterv reuse the block-view builders, which
+	// already handle per-rank lengths (zero-length blocks included).
+	Register(OpAlltoallv, AlgoPairwise, func(a Args) *Schedule {
+		return BuildAlltoallv(a.Rank, a.Size, a.Send, a.Recv, true)
+	})
+	Register(OpAlltoallv, AlgoRing, func(a Args) *Schedule {
+		return BuildAlltoallv(a.Rank, a.Size, a.Send, a.Recv, false)
+	})
+	Register(OpAllgatherv, AlgoRing, func(a Args) *Schedule {
+		return BuildAllgather(a.Rank, a.Size, a.Mine, a.Out)
+	})
+	Register(OpAllgatherv, AlgoBruck, func(a Args) *Schedule {
+		return BuildAllgatherBruck(a.Rank, a.Size, a.Mine, a.Out)
+	})
+	Register(OpAllgatherv, AlgoTwoLevel, func(a Args) *Schedule {
+		return BuildAllgatherTwoLevel(a.Rank, a.Nodes, a.Mine, a.Out)
+	})
+	Register(OpGatherv, AlgoLinear, func(a Args) *Schedule {
+		return BuildGather(a.Rank, a.Size, a.Root, a.Mine, a.Out)
+	})
+	Register(OpScatterv, AlgoLinear, func(a Args) *Schedule {
+		return BuildScatter(a.Rank, a.Size, a.Root, a.Send, a.Mine)
+	})
+	Register(OpReduceScatter, AlgoRecHalving, func(a Args) *Schedule {
+		return BuildReduceScatterHalving(a.Rank, a.Size, a.X, a.RecvF64, a.RCounts, a.Op)
+	})
+	Register(OpReduceScatter, AlgoPairwise, func(a Args) *Schedule {
+		return BuildReduceScatterPairwise(a.Rank, a.Size, a.X, a.RecvF64, a.RCounts, a.Op)
 	})
 }
 
@@ -229,8 +290,32 @@ func (t *Tuning) Select(op OpKind, size, bytes int, twoLevel bool) Algo {
 			return AlgoTwoLevel
 		}
 		return AlgoPairwise
-	case OpGather, OpScatter:
+	case OpGather, OpScatter, OpGatherv, OpScatterv:
 		return AlgoLinear
+	case OpAlltoallv:
+		// Per-rank counts are private, so selection may only key on the
+		// globally known rank count: XOR pairing for powers of two, rotated
+		// shifts otherwise (see vector.go on why size-based or Bruck-style
+		// choices are unavailable).
+		if size&(size-1) == 0 {
+			return AlgoPairwise
+		}
+		return AlgoRing
+	case OpAllgatherv:
+		// The full recvcounts vector is known on every rank, so the total
+		// payload is a globally consistent selector input.
+		if twoLevel {
+			return AlgoTwoLevel
+		}
+		if bytes <= t.allgatherLong() {
+			return AlgoBruck
+		}
+		return AlgoRing
+	case OpReduceScatter:
+		if size&(size-1) == 0 {
+			return AlgoRecHalving
+		}
+		return AlgoPairwise
 	}
 	panic(fmt.Sprintf("coll: select on unknown op %d", op))
 }
@@ -261,9 +346,45 @@ func KeyFor(t *Tuning, op OpKind, a Args, twoLevel bool) Key {
 	}
 	algo := t.Select(op, a.Size, payloadBytes(op, a), twoLevel)
 	if algo == AlgoTwoLevel && a.Nodes == nil {
-		algo = t.Select(op, a.Size, payloadBytes(op, a), false)
+		// No node map, so the two-level builders cannot run — even when the
+		// tuning *forces* two-level: strip Force for the re-selection or it
+		// would just return AlgoTwoLevel again and the builder would panic.
+		noForce := Tuning{}
+		if t != nil {
+			noForce = *t
+			noForce.Force = nil
+		}
+		algo = noForce.Select(op, a.Size, payloadBytes(op, a), false)
 	}
 	return Key{Op: op, Algo: algo, Root: rootOf(op, a), Sig: sigOf(op, a)}
+}
+
+// countsInSig reports whether op's schedule structure depends on a counts
+// vector that the buffer views do not already pin: reduce-scatter has no
+// per-rank views, and its halving windows depend on the whole vector, not
+// just len(X) and len(RecvF64). The other vector ops' counts equal their
+// Send/Recv/Out view lengths, which sigOf already serializes.
+func countsInSig(op OpKind) bool {
+	return op == OpReduceScatter
+}
+
+// FallsBack reports whether forcing algo for op at this rank count would
+// silently build a different algorithm: the power-of-two-only choices fall
+// back inside their builders. Owned here, next to those builders, so
+// harnesses (cmd/collbench) don't duplicate the rules.
+func FallsBack(op OpKind, algo Algo, size int) bool {
+	if size&(size-1) == 0 {
+		return false
+	}
+	switch {
+	case op == OpAlltoallv && algo == AlgoPairwise:
+		return true // XOR ordering needs a power of two
+	case op == OpReduceScatter && algo == AlgoRecHalving:
+		return true
+	case op == OpAllreduce && algo == AlgoRabenseifner:
+		return true
+	}
+	return false
 }
 
 // Build compiles a's schedule with key's algorithm.
@@ -295,18 +416,32 @@ func payloadBytes(op OpKind, a Args) int {
 			t += len(b)
 		}
 		return t
-	case OpGather:
+	case OpGather, OpGatherv:
 		return len(a.Mine)
-	case OpScatter:
+	case OpScatter, OpScatterv:
 		return len(a.Mine)
+	case OpAlltoallv:
+		return 0 // selection ignores payload: per-rank counts are private
+	case OpAllgatherv:
+		return sumInts(a.RCounts)
+	case OpReduceScatter:
+		return 8 * len(a.X)
 	}
 	return 0
+}
+
+func sumInts(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
 }
 
 // rootOf returns the root for rooted operations, -1 otherwise.
 func rootOf(op OpKind, a Args) int {
 	switch op {
-	case OpBcast, OpReduce, OpGather, OpScatter:
+	case OpBcast, OpReduce, OpGather, OpScatter, OpGatherv, OpScatterv:
 		return a.Root
 	}
 	return -1
@@ -332,6 +467,27 @@ func sigOf(op OpKind, a Args) string {
 	writeLens(a.Out)
 	writeLens(a.Send)
 	writeLens(a.Recv)
+	writeInts := func(tag byte, xs []int) {
+		sb.WriteByte('/')
+		sb.WriteByte(tag)
+		for i, x := range xs {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Itoa(x))
+		}
+	}
+	// The counts signature, for the ops whose structure the views do not
+	// already pin. Displacements stay out of the key for disjoint layouts —
+	// they change which buffer regions the blocks bind to, not the
+	// schedule's structure, so Rebind absorbs them — but the mpi layer sets
+	// SDispls/RDispls for overlapping layouts, which must key exactly.
+	if countsInSig(op) {
+		writeInts('c', a.RCounts)
+	}
+	if a.SDispls != nil {
+		writeInts('s', a.SDispls)
+	}
 	return sb.String()
 }
 

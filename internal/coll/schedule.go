@@ -31,6 +31,10 @@ const (
 	PrimReduce
 	// PrimDecode overwrites AccF64 with the float64 vector encoded in In.
 	PrimDecode
+	// PrimCopyF64 copies SrcF64 into AccF64 locally (float64 elements, no
+	// wire encoding) — the reduce-scatter builders land result segments with
+	// it.
+	PrimCopyF64
 )
 
 // Prim is one schedule primitive. Only the fields of its kind are set.
@@ -41,9 +45,11 @@ type Prim struct {
 	// Data is a static send payload, captured at build time.
 	Data []byte
 	// AccF64 is a float64 vector: for sends it is encoded at round start
-	// (payloads that earlier rounds mutate must be lazy); for reduce/decode
-	// it is the accumulator written in place.
+	// (payloads that earlier rounds mutate must be lazy); for
+	// reduce/decode/copyF64 it is the accumulator written in place.
 	AccF64 []float64
+	// SrcF64 is the copyF64 source vector.
+	SrcF64 []float64
 	// Buf is the receive buffer.
 	Buf []byte
 	// Src/Dst are the copy operands.
@@ -91,6 +97,8 @@ func RunLocal(pr *Prim) {
 		}
 	case PrimDecode:
 		BytesF64(pr.AccF64, pr.In)
+	case PrimCopyF64:
+		copy(pr.AccF64, pr.SrcF64)
 	}
 }
 
@@ -143,6 +151,7 @@ func sendF64(peer int, x []float64) Prim  { return Prim{Kind: PrimSend, Peer: pe
 func recvP(peer int, buf []byte) Prim     { return Prim{Kind: PrimRecv, Peer: peer, Buf: buf} }
 func copyP(dst, src []byte) Prim          { return Prim{Kind: PrimCopy, Dst: dst, Src: src} }
 func decodeP(x []float64, in []byte) Prim { return Prim{Kind: PrimDecode, AccF64: x, In: in} }
+func copyF64P(dst, src []float64) Prim    { return Prim{Kind: PrimCopyF64, AccF64: dst, SrcF64: src} }
 func reduceP(x []float64, in []byte, op Op) Prim {
 	return Prim{Kind: PrimReduce, AccF64: x, In: in, Op: op}
 }

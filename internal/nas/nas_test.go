@@ -118,8 +118,8 @@ func TestKernelByName(t *testing.T) {
 			t.Fatalf("KernelByName(%s) = %v, %v", name, k.Name, err)
 		}
 	}
-	if _, err := KernelByName("IS"); err == nil {
-		t.Fatal("IS is not implemented (as in the paper) and must error")
+	if _, err := KernelByName("IS"); err != nil {
+		t.Fatalf("IS must resolve now that alltoallv runs on the engine: %v", err)
 	}
 }
 

@@ -113,6 +113,9 @@ func (s *fakeSide) deliver(src int, tag int32, data []byte) {
 }
 
 // runOps starts build(rank)'s schedule on every rank and waits for all.
+// Shutdown waits for every engine, not just rank 0's: an asymmetric
+// schedule (e.g. a vector collective whose receives are all elided) can
+// complete rank 0 at Start while other ranks still need progress.
 func runOps(t *testing.T, n int, pio bool, build func(rank int) *coll.Schedule) *fakeNet {
 	t.Helper()
 	e := vtime.NewEngine()
@@ -123,7 +126,16 @@ func runOps(t *testing.T, n int, pio bool, build func(rank int) *coll.Schedule) 
 			side := net.sides[r]
 			op := side.eng.Start(p, build(r))
 			side.mgr.WaitUntil(p, op.Done)
+			net.sides[0].mgr.Notify()
 			if r == 0 {
+				side.mgr.WaitUntil(p, func() bool {
+					for _, s := range net.sides {
+						if s.eng.Completed < 1 {
+							return false
+						}
+					}
+					return true
+				})
 				for _, s := range net.sides {
 					s.mgr.Stop()
 				}
@@ -296,5 +308,74 @@ func TestEngineDeterministic(t *testing.T) {
 	}
 	if t1, t2 := run(), run(); t1 != t2 {
 		t.Fatalf("nondeterministic: %d != %d", t1, t2)
+	}
+}
+
+// TestEngineVectorSchedules: irregular (per-rank count) schedules — zero
+// blocks elided, local copyF64 prims for the reduce-scatter landing — run
+// correctly through the engine's round execution under both progress
+// regimes.
+func TestEngineVectorSchedules(t *testing.T) {
+	const n = 4
+	counts := []int{0, 3, 7, 2}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	for _, pio := range []bool{false, true} {
+		// Alltoallv: rank r sends counts[d] bytes of value r*16+d to d.
+		send := make([][][]byte, n)
+		recv := make([][][]byte, n)
+		for r := 0; r < n; r++ {
+			send[r] = make([][]byte, n)
+			recv[r] = make([][]byte, n)
+			for d := 0; d < n; d++ {
+				send[r][d] = make([]byte, counts[d])
+				for i := range send[r][d] {
+					send[r][d][i] = byte(r*16 + d)
+				}
+				recv[r][d] = make([]byte, counts[r])
+			}
+		}
+		runOps(t, n, pio, func(rank int) *coll.Schedule {
+			return coll.BuildAlltoallv(rank, n, send[rank], recv[rank], true)
+		})
+		for r := 0; r < n; r++ {
+			for s := 0; s < n; s++ {
+				for i := range recv[r][s] {
+					if recv[r][s][i] != byte(s*16+r) {
+						t.Fatalf("pio=%v: rank %d block from %d byte %d = %d",
+							pio, r, s, i, recv[r][s][i])
+					}
+				}
+			}
+		}
+
+		// Reduce-scatter: segment sums land in each rank's recv.
+		xs := make([][]float64, n)
+		recvs := make([][]float64, n)
+		for r := 0; r < n; r++ {
+			xs[r] = make([]float64, total)
+			for i := range xs[r] {
+				xs[r][i] = float64(r*10 + i)
+			}
+			recvs[r] = make([]float64, counts[r])
+		}
+		runOps(t, n, pio, func(rank int) *coll.Schedule {
+			return coll.BuildReduceScatterHalving(rank, n, xs[rank], recvs[rank], counts, coll.OpSum)
+		})
+		off := 0
+		for r := 0; r < n; r++ {
+			for i := 0; i < counts[r]; i++ {
+				want := 0.0
+				for s := 0; s < n; s++ {
+					want += float64(s*10 + off + i)
+				}
+				if math.Abs(recvs[r][i]-want) > 1e-9 {
+					t.Fatalf("pio=%v: rank %d elem %d = %g, want %g", pio, r, i, recvs[r][i], want)
+				}
+			}
+			off += counts[r]
+		}
 	}
 }

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"unsafe"
 
 	"repro/internal/coll"
 	"repro/internal/nbc"
@@ -27,6 +28,11 @@ const (
 	tagAlltoall
 	tagGather
 	tagScatter
+	tagAlltoallv
+	tagAllgatherv
+	tagGatherv
+	tagScatterv
+	tagReduceScatter
 )
 
 // SendT / RecvT / SendRecvT implement coll.PtPt on the collective context.
@@ -82,6 +88,17 @@ func (c *Comm) sched(op coll.OpKind, a coll.Args) (*coll.Schedule, func()) {
 	}
 	key := coll.KeyFor(&c.cfg.Coll, op, a, a.Nodes != nil)
 	return c.acquireSched(key, a)
+}
+
+// schedUncached compiles a throwaway schedule outside the cache — for
+// aliased block views, whose positional rebinding would be ambiguous on a
+// later same-key call.
+func (c *Comm) schedUncached(op coll.OpKind, a coll.Args) *coll.Schedule {
+	a.Rank, a.Size = c.rank, len(c.group)
+	if c.twoLvl {
+		a.Nodes = c.nodes
+	}
+	return coll.Build(coll.KeyFor(&c.cfg.Coll, op, a, a.Nodes != nil), a)
 }
 
 // ---- blocking collectives ----------------------------------------------------
@@ -151,6 +168,96 @@ func (c *Comm) Scatter(root int, blocks [][]byte, buf []byte) {
 	release()
 }
 
+// ---- vector (per-rank count) collectives -------------------------------------
+//
+// The vector operations take MPI-style (buffer, counts, displacements)
+// arguments: counts[r] is the bytes exchanged with rank r and displs[r] the
+// block's offset in the flat buffer (nil displs packs blocks back-to-back).
+// They compile through the same registry, schedule cache and nonblocking
+// engine as the uniform collectives; only the counts — not the
+// displacements — enter the cache key, so re-invoking with a different
+// layout rebinds the cached schedule.
+
+// Alltoallv exchanges variable-size blocks: sbuf's block d goes to rank d
+// and rbuf's block s receives from rank s.
+func (c *Comm) Alltoallv(sbuf []byte, scounts, sdispls []int, rbuf []byte, rcounts, rdispls []int) {
+	a := c.alltoallvArgs("Alltoallv", sbuf, scounts, sdispls, rbuf, rcounts, rdispls)
+	s, release := c.sched(coll.OpAlltoallv, a)
+	coll.ExecBlocking(c, s, tagAlltoallv)
+	release()
+}
+
+// Ialltoallv starts a nonblocking variable-size alltoall exchange.
+func (c *Comm) Ialltoallv(sbuf []byte, scounts, sdispls []int, rbuf []byte, rcounts, rdispls []int) *Request {
+	a := c.alltoallvArgs("Ialltoallv", sbuf, scounts, sdispls, rbuf, rcounts, rdispls)
+	return c.nbcStart(coll.OpAlltoallv, a)
+}
+
+// Allgatherv collects each rank's variable-size block: rank r's mine (of
+// rcounts[r] bytes) lands in rbuf's block r on every rank. rcounts must be
+// identical on all ranks, as in MPI.
+func (c *Comm) Allgatherv(mine []byte, rbuf []byte, rcounts, rdispls []int) {
+	a := c.allgathervArgs("Allgatherv", mine, rbuf, rcounts, rdispls)
+	s, release := c.sched(coll.OpAllgatherv, a)
+	coll.ExecBlocking(c, s, tagAllgatherv)
+	release()
+}
+
+// Iallgatherv starts a nonblocking variable-size allgather.
+func (c *Comm) Iallgatherv(mine []byte, rbuf []byte, rcounts, rdispls []int) *Request {
+	a := c.allgathervArgs("Iallgatherv", mine, rbuf, rcounts, rdispls)
+	return c.nbcStart(coll.OpAllgatherv, a)
+}
+
+// Gatherv collects variable-size blocks at root: rank r's mine (of
+// rcounts[r] bytes) lands in rbuf's block r on root. rbuf, rcounts and
+// rdispls are only read on root.
+func (c *Comm) Gatherv(root int, mine []byte, rbuf []byte, rcounts, rdispls []int) {
+	a := c.gathervArgs("Gatherv", root, mine, rbuf, rcounts, rdispls)
+	s, release := c.sched(coll.OpGatherv, a)
+	coll.ExecBlocking(c, s, tagGatherv)
+	release()
+}
+
+// Igatherv starts a nonblocking variable-size gather at root.
+func (c *Comm) Igatherv(root int, mine []byte, rbuf []byte, rcounts, rdispls []int) *Request {
+	a := c.gathervArgs("Igatherv", root, mine, rbuf, rcounts, rdispls)
+	return c.nbcStart(coll.OpGatherv, a)
+}
+
+// Scatterv distributes variable-size blocks from root: sbuf's block r (of
+// scounts[r] bytes) lands in rank r's buf. sbuf, scounts and sdispls are
+// only read on root.
+func (c *Comm) Scatterv(root int, sbuf []byte, scounts, sdispls []int, buf []byte) {
+	a := c.scattervArgs("Scatterv", root, sbuf, scounts, sdispls, buf)
+	s, release := c.sched(coll.OpScatterv, a)
+	coll.ExecBlocking(c, s, tagScatterv)
+	release()
+}
+
+// Iscatterv starts a nonblocking variable-size scatter from root.
+func (c *Comm) Iscatterv(root int, sbuf []byte, scounts, sdispls []int, buf []byte) *Request {
+	a := c.scattervArgs("Iscatterv", root, sbuf, scounts, sdispls, buf)
+	return c.nbcStart(coll.OpScatterv, a)
+}
+
+// ReduceScatterF64 reduces x (length sum(counts)) elementwise across ranks
+// and scatters the result: rank r receives segment r (counts[r] elements)
+// in recv. counts must be identical on all ranks, as in MPI. x may be
+// clobbered as scratch.
+func (c *Comm) ReduceScatterF64(x, recv []float64, counts []int, op coll.Op) {
+	a := c.reduceScatterArgs("ReduceScatterF64", x, recv, counts, op)
+	s, release := c.sched(coll.OpReduceScatter, a)
+	coll.ExecBlocking(c, s, tagReduceScatter)
+	release()
+}
+
+// IreduceScatterF64 starts a nonblocking reduce-scatter of x.
+func (c *Comm) IreduceScatterF64(x, recv []float64, counts []int, op coll.Op) *Request {
+	a := c.reduceScatterArgs("IreduceScatterF64", x, recv, counts, op)
+	return c.nbcStart(coll.OpReduceScatter, a)
+}
+
 // ---- nonblocking collectives -------------------------------------------------
 //
 // The I* operations compile the same schedules as their blocking
@@ -174,10 +281,16 @@ func (t nbcTransport) Irecv(proc *vtime.Proc, src int, tag int32, buf []byte) nb
 }
 
 func (c *Comm) nbcStart(op coll.OpKind, a coll.Args) *Request {
+	s, release := c.sched(op, a)
+	return c.nbcStartSched(s, release)
+}
+
+// nbcStartSched hands a compiled schedule to the nonblocking engine;
+// release (nil for uncached schedules) runs when the operation completes.
+func (c *Comm) nbcStartSched(s *coll.Schedule, release func()) *Request {
 	if c.nbcEng == nil {
 		c.nbcEng = nbc.NewEngine(c.mgr, nbcTransport{c})
 	}
-	s, release := c.sched(op, a)
 	return &Request{c: c, op: c.nbcEng.StartDone(c.proc, s, release)}
 }
 
@@ -287,6 +400,163 @@ func (c *Comm) checkGather(op string, root int, mine []byte, out [][]byte) {
 		panic(fmt.Sprintf("mpi: %s: out[%d] is %d bytes but the root contributes %d",
 			op, root, len(out[root]), len(mine)))
 	}
+}
+
+// checkVec validates one side's count/displacement vectors against the flat
+// buffer they index: one count per rank, no negative counts, and every block
+// inside the buffer. It reports whether any two nonzero blocks overlap —
+// legal for sends (which only read), but such aliased layouts must enter
+// the cache key (coll.Args.SDispls) because positional rebinding cannot
+// tell overlapping regions apart; receive-side callers panic on overlap
+// instead, since aliased receive blocks silently corrupt each other.
+func (c *Comm) checkVec(op, side string, buf []byte, counts, displs []int) (overlap bool) {
+	if len(counts) != c.Size() {
+		panic(fmt.Sprintf("mpi: %s: %d %s counts for communicator size %d",
+			op, len(counts), side, c.Size()))
+	}
+	if displs != nil && len(displs) != c.Size() {
+		panic(fmt.Sprintf("mpi: %s: %d %s displacements for communicator size %d",
+			op, len(displs), side, c.Size()))
+	}
+	off := 0
+	for r, n := range counts {
+		if n < 0 {
+			panic(fmt.Sprintf("mpi: %s: negative %s count %d for rank %d", op, side, n, r))
+		}
+		if displs != nil {
+			off = displs[r]
+		}
+		if off < 0 || off+n > len(buf) {
+			panic(fmt.Sprintf("mpi: %s: %s block %d [%d:%d) exceeds buffer length %d",
+				op, side, r, off, off+n, len(buf)))
+		}
+		off += n
+	}
+	if displs == nil {
+		return false // packed layouts cannot overlap
+	}
+	return blocksAlias(coll.Blocks(buf, counts, displs))
+}
+
+// checkDisjoint panics when two caller buffers overlap in memory: the
+// vector collectives require disjoint send/receive regions (as MPI does),
+// and the schedule cache's positional rebinding relies on it — a region
+// aliased across the two argument sets would rebind ambiguously on a later
+// same-key call.
+func checkDisjoint(op, aName, bName string, a, b []byte) {
+	if len(a) == 0 || len(b) == 0 {
+		return
+	}
+	pa, pb := uintptr(unsafe.Pointer(&a[0])), uintptr(unsafe.Pointer(&b[0]))
+	if pa < pb+uintptr(len(b)) && pb < pa+uintptr(len(a)) {
+		panic(fmt.Sprintf("mpi: %s: %s overlaps %s", op, aName, bName))
+	}
+}
+
+// checkDisjointF64 is checkDisjoint for float64 buffers.
+func checkDisjointF64(op, aName, bName string, a, b []float64) {
+	if len(a) == 0 || len(b) == 0 {
+		return
+	}
+	const esz = unsafe.Sizeof(float64(0))
+	pa, pb := uintptr(unsafe.Pointer(&a[0])), uintptr(unsafe.Pointer(&b[0]))
+	if pa < pb+uintptr(len(b))*esz && pb < pa+uintptr(len(a))*esz {
+		panic(fmt.Sprintf("mpi: %s: %s overlaps %s", op, aName, bName))
+	}
+}
+
+func (c *Comm) alltoallvArgs(op string, sbuf []byte, scounts, sdispls []int, rbuf []byte, rcounts, rdispls []int) coll.Args {
+	sOverlap := c.checkVec(op, "send", sbuf, scounts, sdispls)
+	if c.checkVec(op, "recv", rbuf, rcounts, rdispls) {
+		panic(fmt.Sprintf("mpi: %s: overlapping recv blocks", op))
+	}
+	checkDisjoint(op, "recv buffer", "send buffer", rbuf, sbuf)
+	if scounts[c.rank] != rcounts[c.rank] {
+		panic(fmt.Sprintf("mpi: %s: self block mismatch: scounts[%d]=%d, rcounts[%d]=%d",
+			op, c.rank, scounts[c.rank], c.rank, rcounts[c.rank]))
+	}
+	a := coll.Args{
+		Send: coll.Blocks(sbuf, scounts, sdispls),
+		Recv: coll.Blocks(rbuf, rcounts, rdispls),
+	}
+	if sOverlap {
+		a.SDispls = sdispls
+	}
+	return a
+}
+
+func (c *Comm) allgathervArgs(op string, mine, rbuf []byte, rcounts, rdispls []int) coll.Args {
+	if c.checkVec(op, "recv", rbuf, rcounts, rdispls) {
+		panic(fmt.Sprintf("mpi: %s: overlapping recv blocks", op))
+	}
+	checkDisjoint(op, "recv buffer", "mine", rbuf, mine)
+	if rcounts[c.rank] != len(mine) {
+		panic(fmt.Sprintf("mpi: %s: rcounts[%d]=%d but this rank contributes %d bytes",
+			op, c.rank, rcounts[c.rank], len(mine)))
+	}
+	return coll.Args{Mine: mine, Out: coll.Blocks(rbuf, rcounts, rdispls), RCounts: rcounts}
+}
+
+func (c *Comm) gathervArgs(op string, root int, mine, rbuf []byte, rcounts, rdispls []int) coll.Args {
+	c.checkRoot(op, root)
+	a := coll.Args{Root: root, Mine: mine}
+	if c.rank != root {
+		return a
+	}
+	if c.checkVec(op, "recv", rbuf, rcounts, rdispls) {
+		panic(fmt.Sprintf("mpi: %s: overlapping recv blocks", op))
+	}
+	checkDisjoint(op, "recv buffer", "mine", rbuf, mine)
+	if rcounts[root] != len(mine) {
+		panic(fmt.Sprintf("mpi: %s: rcounts[%d]=%d but the root contributes %d bytes",
+			op, root, rcounts[root], len(mine)))
+	}
+	a.Out = coll.Blocks(rbuf, rcounts, rdispls)
+	return a
+}
+
+func (c *Comm) scattervArgs(op string, root int, sbuf []byte, scounts, sdispls []int, buf []byte) coll.Args {
+	c.checkRoot(op, root)
+	a := coll.Args{Root: root, Mine: buf}
+	if c.rank != root {
+		return a
+	}
+	overlap := c.checkVec(op, "send", sbuf, scounts, sdispls)
+	checkDisjoint(op, "send buffer", "buf", sbuf, buf)
+	if scounts[root] != len(buf) {
+		panic(fmt.Sprintf("mpi: %s: scounts[%d]=%d but buf is %d bytes",
+			op, root, scounts[root], len(buf)))
+	}
+	a.Send = coll.Blocks(sbuf, scounts, sdispls)
+	if overlap {
+		a.SDispls = sdispls
+	}
+	return a
+}
+
+func (c *Comm) reduceScatterArgs(op string, x, recv []float64, counts []int, f coll.Op) coll.Args {
+	c.checkOp(op, f)
+	checkDisjointF64(op, "recv", "x", recv, x)
+	if len(counts) != c.Size() {
+		panic(fmt.Sprintf("mpi: %s: %d counts for communicator size %d",
+			op, len(counts), c.Size()))
+	}
+	total := 0
+	for r, n := range counts {
+		if n < 0 {
+			panic(fmt.Sprintf("mpi: %s: negative count %d for rank %d", op, n, r))
+		}
+		total += n
+	}
+	if total != len(x) {
+		panic(fmt.Sprintf("mpi: %s: counts sum to %d elements but x has %d",
+			op, total, len(x)))
+	}
+	if len(recv) != counts[c.rank] {
+		panic(fmt.Sprintf("mpi: %s: recv has %d elements but counts[%d]=%d",
+			op, len(recv), c.rank, counts[c.rank]))
+	}
+	return coll.Args{X: x, RecvF64: recv, RCounts: counts, Op: f}
 }
 
 func (c *Comm) checkScatter(op string, root int, blocks [][]byte, buf []byte) {

@@ -2,7 +2,10 @@ package mpi
 
 import (
 	"fmt"
+	"sort"
+	"unsafe"
 
+	"repro/internal/coll"
 	"repro/internal/vtime"
 )
 
@@ -114,27 +117,58 @@ func (c *Comm) unpackD(user, wire []byte, dt Datatype) {
 }
 
 // AlltoallvBytes exchanges variable-size blocks: send[r] goes to rank r and
-// recv[s] (pre-sized by the caller) receives from rank s. This is the
-// primitive the IS kernel needs.
+// recv[s] (pre-sized by the caller) receives from rank s. It is the
+// block-view form of Alltoallv and compiles through the same schedule
+// engine: per-rank pairwise rounds with zero-length blocks elided, cached
+// and rebound per communicator like every other collective. Send blocks may
+// alias each other (a schedule over aliased views bypasses the cache, whose
+// positional rebinding cannot tell overlapping regions apart); aliased
+// receive blocks panic. This is the primitive the IS kernel needs.
 func (c *Comm) AlltoallvBytes(send, recv [][]byte) {
-	c.checkAlltoall("AlltoallvBytes", send, recv)
-	n := c.Size()
-	rank := c.Rank()
-	copy(recv[rank], send[rank])
-	if n == 1 {
+	a, aliased := c.alltoallvBytesArgs("AlltoallvBytes", send, recv)
+	if aliased {
+		coll.ExecBlocking(c, c.schedUncached(coll.OpAlltoallv, a), tagAlltoallv)
 		return
 	}
-	const tag = 9 // distinct from the schedule-based collectives' tags
-	if n&(n-1) == 0 {
-		for i := 1; i < n; i++ {
-			partner := rank ^ i
-			c.SendRecvT(partner, send[partner], partner, recv[partner], tag)
+	s, release := c.sched(coll.OpAlltoallv, a)
+	coll.ExecBlocking(c, s, tagAlltoallv)
+	release()
+}
+
+// IalltoallvBytes starts a nonblocking block-view alltoallv.
+func (c *Comm) IalltoallvBytes(send, recv [][]byte) *Request {
+	a, aliased := c.alltoallvBytesArgs("IalltoallvBytes", send, recv)
+	if aliased {
+		return c.nbcStartSched(c.schedUncached(coll.OpAlltoallv, a), nil)
+	}
+	return c.nbcStart(coll.OpAlltoallv, a)
+}
+
+func (c *Comm) alltoallvBytesArgs(op string, send, recv [][]byte) (coll.Args, bool) {
+	c.checkAlltoall(op, send, recv)
+	if blocksAlias(recv) {
+		panic(fmt.Sprintf("mpi: %s: overlapping recv blocks", op))
+	}
+	return coll.Args{Send: send, Recv: recv}, blocksAlias(send)
+}
+
+// blocksAlias reports whether any two nonzero blocks overlap in memory.
+func blocksAlias(blocks [][]byte) bool {
+	type span struct{ lo, hi uintptr }
+	spans := make([]span, 0, len(blocks))
+	for _, b := range blocks {
+		if len(b) > 0 {
+			p := uintptr(unsafe.Pointer(&b[0]))
+			spans = append(spans, span{p, p + uintptr(len(b))})
 		}
-		return
 	}
-	for i := 1; i < n; i++ {
-		dst := (rank + i) % n
-		src := (rank - i + n) % n
-		c.SendRecvT(dst, send[dst], src, recv[src], tag)
+	// With nonzero spans sorted by start, pairwise-adjacent disjointness
+	// implies global disjointness.
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].lo < spans[i-1].hi {
+			return true
+		}
 	}
+	return false
 }
