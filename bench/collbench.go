@@ -33,6 +33,9 @@ type CollBenchOptions struct {
 	NP int
 	// Algo forces one algorithm (coll.AlgoAuto lets the selector choose).
 	Algo coll.Algo
+	// Table supplies calibrated selection thresholds for the auto rows
+	// (nil keeps the built-in defaults). Ignored when Algo forces a pick.
+	Table *coll.Table
 	// TwoLevel enables the topology-aware variants.
 	TwoLevel bool
 	// NoCache disables the per-communicator schedule cache.
@@ -81,7 +84,10 @@ func OpKindOf(op string) (coll.OpKind, error) {
 		return coll.OpAlltoallv, nil
 	case "allgatherv":
 		return coll.OpAllgatherv, nil
-	case "reducescatter":
+	case "reducescatter", "reduce-scatter":
+		// Both the harness's historical spelling and the registry's
+		// canonical OpKind name, so names copied out of colltune tables
+		// work here unchanged.
 		return coll.OpReduceScatter, nil
 	}
 	return 0, fmt.Errorf("bench: unknown collective %q", op)
@@ -169,6 +175,7 @@ func CollBenchOnce(stack cluster.Stack, o CollBenchOptions) (CollBenchResult, er
 	if o.Algo != coll.AlgoAuto {
 		cfg.Coll.Force = map[coll.OpKind]coll.Algo{kind: o.Algo}
 	}
+	cfg.Coll.Table = o.Table
 
 	var res CollBenchResult
 	start := time.Now()

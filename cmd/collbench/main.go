@@ -23,6 +23,7 @@ import (
 	"repro/bench"
 	"repro/cluster"
 	"repro/internal/coll"
+	"repro/internal/coll/tune"
 )
 
 // row is one measurement in the sweep, JSON-shaped for BENCH_*.json.
@@ -39,25 +40,37 @@ type row struct {
 	Hits     int64   `json:"hits"`
 }
 
-// candidates lists the forced algorithms worth sweeping per operation;
+// candidates derives the forced algorithms worth sweeping for one
+// operation from the tuner's flat candidate pools (the single source both
+// harnesses share), plus the two-level variant where one is registered;
 // AlgoAuto is always measured first as the selector's pick.
-var candidates = map[string][]coll.Algo{
-	"bcast":         {coll.AlgoBinomial, coll.AlgoScatterAllgather, coll.AlgoTwoLevel},
-	"allreduce":     {coll.AlgoRecDoubling, coll.AlgoRabenseifner, coll.AlgoTwoLevel},
-	"allgather":     {coll.AlgoBruck, coll.AlgoRing, coll.AlgoTwoLevel},
-	"alltoall":      {coll.AlgoPairwise, coll.AlgoTwoLevel},
-	"alltoallv":     {coll.AlgoPairwise, coll.AlgoRing},
-	"allgatherv":    {coll.AlgoBruck, coll.AlgoRing, coll.AlgoTwoLevel},
-	"reducescatter": {coll.AlgoRecHalving, coll.AlgoPairwise},
+func candidates(op string) []coll.Algo {
+	kind, err := bench.OpKindOf(op)
+	if err != nil {
+		return nil
+	}
+	algos := append([]coll.Algo(nil), tune.Candidates[kind]...)
+	for _, r := range coll.Registrations() {
+		if r.Op == kind && r.Algo == coll.AlgoTwoLevel {
+			algos = append(algos, coll.AlgoTwoLevel)
+		}
+	}
+	return algos
 }
 
 // vecSkews is the irregular-counts dimension swept for the vector ops.
 var vecSkews = []string{"uniform", "linear", "sparse"}
 
-// isVector reports whether op takes per-rank counts.
+// isVector reports whether op takes per-rank counts (and so sweeps the
+// skew dimension). Resolved through OpKindOf so both the harness and the
+// registry spellings get the full grid.
 func isVector(op string) bool {
-	switch op {
-	case "alltoallv", "allgatherv", "reducescatter":
+	kind, err := bench.OpKindOf(op)
+	if err != nil {
+		return false
+	}
+	switch kind {
+	case coll.OpAlltoallv, coll.OpAllgatherv, coll.OpReduceScatter:
 		return true
 	}
 	return false
@@ -117,7 +130,7 @@ func main() {
 			for _, skew := range skews {
 				rows = append(rows, measure(op, coll.AlgoAuto, skew, bytes, true))
 				rows = append(rows, measure(op, coll.AlgoAuto, skew, bytes, false))
-				for _, algo := range candidates[op] {
+				for _, algo := range candidates(op) {
 					// Skip forced picks the builder would silently replace
 					// at this rank count — they duplicate another row under
 					// a misleading label.

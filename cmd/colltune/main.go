@@ -1,0 +1,150 @@
+// Command colltune calibrates collective algorithm selection for one MPI
+// stack (or all presets): it sweeps op × payload × candidate algorithm
+// through the collbench harness, derives the crossover thresholds, and
+// emits a coll.Table as JSON — loadable via Config.Coll.LoadTable and
+// embedded per stack in internal/coll/tune. Virtual time is deterministic,
+// so the emitted tables are byte-reproducible.
+//
+//	colltune                          # calibrate mpich2-nmad-ib, table on stdout
+//	colltune -stack all -out DIR      # regenerate every embedded table
+//	colltune -check                   # assert tuned ≤ default on every swept point
+//	colltune -smoke -out table.json   # tiny CI grid, implies -check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/bench"
+	"repro/cluster"
+	"repro/internal/coll"
+	"repro/internal/coll/tune"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("colltune: ")
+	stackFlag := flag.String("stack", "mpich2-nmad-ib",
+		"stack preset to calibrate, or \"all\" for every preset")
+	np := flag.Int("np", 8, "number of ranks (block-placed)")
+	iters := flag.Int("iters", 4, "iterations per measurement")
+	sizesFlag := flag.String("sizes", "", "comma-separated per-rank payload sizes in bytes (default 256B..1MB ladder)")
+	opsFlag := flag.String("ops", "", "comma-separated operations to tune (default every byte-tunable op)")
+	out := flag.String("out", "-",
+		"output file (\"-\" = stdout); a directory with -stack all (one <stack>.json each)")
+	check := flag.Bool("check", false,
+		"verify the tuned table is never slower than the defaults on any swept point")
+	smoke := flag.Bool("smoke", false,
+		"tiny CI grid (np=4, iters=2, two sizes); implies -check")
+	flag.Parse()
+
+	opts := tune.Options{NP: *np, Iters: *iters}
+	if *sizesFlag != "" {
+		for _, f := range strings.Split(*sizesFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				log.Fatalf("bad size %q", f)
+			}
+			opts.Sizes = append(opts.Sizes, n)
+		}
+	}
+	if *opsFlag != "" {
+		for _, f := range strings.Split(*opsFlag, ",") {
+			name := strings.TrimSpace(f)
+			op, err := coll.OpKindByName(name)
+			if err != nil {
+				// Also accept the collbench harness spellings
+				// ("reducescatter"), so op names move between the two
+				// tools unchanged.
+				if k, berr := bench.OpKindOf(name); berr == nil {
+					op = k
+				} else {
+					log.Fatal(err)
+				}
+			}
+			opts.Ops = append(opts.Ops, op)
+		}
+	}
+	// -smoke shrinks the grid but never overrides a flag the user set
+	// explicitly (the table's selector-space coordinates depend on -np).
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *smoke {
+		*check = true
+		if !set["np"] {
+			opts.NP = 4
+		}
+		if !set["iters"] {
+			opts.Iters = 2
+		}
+		if len(opts.Sizes) == 0 {
+			opts.Sizes = []int{1 << 10, 64 << 10}
+		}
+	}
+
+	var stacks []cluster.Stack
+	if *stackFlag == "all" {
+		stacks = tune.PresetStacks()
+		if *out == "-" {
+			log.Fatal("-stack all needs -out DIR (one table file per stack)")
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		s, ok := tune.StackByName(*stackFlag)
+		if !ok {
+			var names []string
+			for _, p := range tune.PresetStacks() {
+				names = append(names, p.Name)
+			}
+			log.Fatalf("unknown stack %q (presets: %s, or \"all\")",
+				*stackFlag, strings.Join(names, ", "))
+		}
+		stacks = []cluster.Stack{s}
+	}
+
+	for _, s := range stacks {
+		res, err := tune.Sweep(s, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *check {
+			if viols := tune.Check(res); len(viols) > 0 {
+				for _, v := range viols {
+					log.Printf("%s: VIOLATION %s", s.Name, v)
+				}
+				log.Fatalf("%s: tuned table slower than defaults on %d of %d swept points",
+					s.Name, len(viols), len(res.Points))
+			}
+			log.Printf("%s: check ok — tuned ≤ default on all %d swept points",
+				s.Name, len(res.Points))
+		}
+		data, err := res.Table.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case *stackFlag == "all":
+			path := filepath.Join(*out, s.Name+".json")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("%s: wrote %s (%d points, %d ops)",
+				s.Name, path, len(res.Points), len(res.Table.Ops))
+		case *out == "-":
+			fmt.Print(string(data))
+		default:
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("%s: wrote %s (%d points, %d ops)",
+				s.Name, *out, len(res.Points), len(res.Table.Ops))
+		}
+	}
+}

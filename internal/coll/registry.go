@@ -206,10 +206,26 @@ func init() {
 }
 
 // Tuning parameterizes algorithm selection. The zero value (and a nil
-// pointer) selects the MPICH-flavoured defaults; Force pins an operation to
-// one algorithm; the *Long fields override the bytes thresholds when > 0.
+// pointer) selects the built-in MPICH-flavoured defaults. Overrides apply
+// in precedence order:
+//
+//   - Force pins an operation to one algorithm unconditionally;
+//   - Table supplies calibrated per-operation size thresholds (loaded via
+//     LoadTable from a colltune-emitted JSON file, or taken from the
+//     embedded per-stack calibrations in internal/coll/tune) and replaces
+//     the built-in size switch for the operations it covers;
+//   - the *Long fields override individual default byte thresholds when
+//     > 0 — the pre-table tuning knobs, still honoured for operations the
+//     table does not cover.
+//
+// Stack names the MPI stack selection runs under (cluster.Stack.Name);
+// mpi.Run fills it in automatically so the stack identity flows into every
+// coll.Key. Tables and forced algorithms are validated by Validate —
+// mpi.Run rejects malformed tuning instead of silently falling back.
 type Tuning struct {
 	Force         map[OpKind]Algo
+	Table         *Table
+	Stack         string
 	BcastLong     int
 	AllreduceLong int
 	AllgatherLong int
@@ -245,12 +261,19 @@ func (t *Tuning) allgatherLong() int {
 }
 
 // Select picks the algorithm for op on size ranks moving bytes of payload;
-// twoLevel requests the hierarchical variant where one exists. The table
-// lives in internal/coll/README.md.
+// twoLevel requests the hierarchical variant where one exists. Force wins
+// over everything; topology (twoLevel) wins over size thresholds; a
+// calibrated Table, when present and covering op, replaces the built-in
+// size switch; the defaults are documented in internal/coll/README.md.
 func (t *Tuning) Select(op OpKind, size, bytes int, twoLevel bool) Algo {
 	if t != nil && t.Force != nil {
 		if a, ok := t.Force[op]; ok && a != AlgoAuto {
 			return a
+		}
+	}
+	if t != nil && t.Table != nil && !(twoLevel && hasTwoLevel(op)) {
+		if a, ok := t.Table.Lookup(op, bytes); ok {
+			return builderFallback(op, a, size)
 		}
 	}
 	switch op {
@@ -320,17 +343,46 @@ func (t *Tuning) Select(op OpKind, size, bytes int, twoLevel bool) Algo {
 	panic(fmt.Sprintf("coll: select on unknown op %d", op))
 }
 
+// hasTwoLevel reports whether op has a registered hierarchical variant —
+// the operations whose twoLevel selection outranks any table entry.
+func hasTwoLevel(op OpKind) bool { return registry[op][AlgoTwoLevel] != nil }
+
+// builderFallback maps a table's pick to the algorithm the builder would
+// actually construct at this rank count: the power-of-two-only choices fall
+// back inside their builders (FallsBack), and normalizing here keeps
+// Key.Algo honest and stops the schedule cache from holding two entries for
+// one structure. Byte thresholds cannot express the rank-count constraint,
+// so a calibrated table may legitimately name, say, Rabenseifner at a size
+// where the communicator is not a power of two.
+func builderFallback(op OpKind, algo Algo, size int) Algo {
+	if !FallsBack(op, algo, size) {
+		return algo
+	}
+	switch op {
+	case OpAlltoallv:
+		return AlgoRing
+	case OpReduceScatter:
+		return AlgoPairwise
+	case OpAllreduce:
+		return AlgoRecDoubling
+	}
+	return algo
+}
+
 // Key canonicalizes one collective invocation's compiled shape on a given
-// communicator: operation, selected algorithm, root, and the counts
-// signature. Two invocations with equal keys on the same communicator
-// compile to structurally identical schedules, differing only in which
-// caller buffers they are bound to — the property the per-communicator
-// schedule cache (mpi) relies on.
+// communicator: operation, selected algorithm, root, the stack identity the
+// selection ran under, and the counts signature. Two invocations with equal
+// keys on the same communicator compile to structurally identical
+// schedules, differing only in which caller buffers they are bound to — the
+// property the per-communicator schedule cache (mpi) relies on. Stack is
+// part of the key because selection is stack-dependent once tables are in
+// play: keys minted under different calibrations must never conflate.
 type Key struct {
-	Op   OpKind
-	Algo Algo
-	Root int
-	Sig  string
+	Op    OpKind
+	Algo  Algo
+	Root  int
+	Stack string
+	Sig   string
 }
 
 // KeyFor selects the algorithm and builds the canonical key for one
@@ -356,7 +408,32 @@ func KeyFor(t *Tuning, op OpKind, a Args, twoLevel bool) Key {
 		}
 		algo = noForce.Select(op, a.Size, payloadBytes(op, a), false)
 	}
-	return Key{Op: op, Algo: algo, Root: rootOf(op, a), Sig: sigOf(op, a)}
+	k := Key{Op: op, Algo: algo, Root: rootOf(op, a), Sig: sigOf(op, a)}
+	if t != nil {
+		k.Stack = t.Stack
+	}
+	return k
+}
+
+// Registration names one installed (operation, algorithm) builder pair.
+type Registration struct {
+	Op   OpKind
+	Algo Algo
+}
+
+// Registrations enumerates every registered builder pair, operation-major —
+// the conformance harness walks this so a newly registered algorithm is
+// covered (or fails coverage) automatically.
+func Registrations() []Registration {
+	var regs []Registration
+	for op := OpKind(0); op < numOps; op++ {
+		for a := Algo(0); a < numAlgos; a++ {
+			if registry[op][a] != nil {
+				regs = append(regs, Registration{Op: op, Algo: a})
+			}
+		}
+	}
+	return regs
 }
 
 // countsInSig reports whether op's schedule structure depends on a counts
@@ -394,6 +471,19 @@ func Build(key Key, a Args) *Schedule {
 		panic(fmt.Sprintf("coll: no %s builder registered for %s", key.Algo, key.Op))
 	}
 	return b(a)
+}
+
+// ByteTunable reports whether op's selection is a payload-size tradeoff a
+// tuning table can express: more than one flat algorithm, discriminated by
+// a globally agreed byte count. Alltoallv fails the second condition (its
+// counts are rank-private, so payloadBytes feeds the selector a constant
+// zero); the rooted linear ops and alltoall fail the first.
+func ByteTunable(op OpKind) bool {
+	switch op {
+	case OpBcast, OpAllreduce, OpAllgather, OpAllgatherv, OpReduceScatter:
+		return true
+	}
+	return false
 }
 
 // payloadBytes is the selector's size input: the bytes one rank contributes

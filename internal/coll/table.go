@@ -1,0 +1,269 @@
+package coll
+
+// This file holds the data-driven side of algorithm selection: a Table maps
+// payload sizes to algorithms per operation, replacing the hard-coded
+// MPICH-flavoured thresholds when present. Tables are calibrated per MPI
+// stack from collbench sweeps (internal/coll/tune, cmd/colltune) — the
+// paper's point is exactly that the communication subsystem underneath
+// MPICH2 moves the crossover points, so thresholds tuned for one stack
+// leave performance on the table on another.
+//
+// The format is deliberately minimal: per operation, an ascending list of
+// inclusive byte bounds, the last one open-ended. Bytes are in the
+// *selector's* size space (payloadBytes in registry.go): the full buffer
+// for bcast, 8·len(x) for the reductions, the total gathered payload for
+// allgather/allgatherv. Selection safety for vector ops is unchanged — the
+// selector still feeds the table only globally agreed byte counts, so two
+// ranks can never disagree on a lookup.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// TableEntry is one threshold step: Algo applies to payloads of up to
+// MaxBytes bytes (inclusive). A negative MaxBytes means unbounded and must
+// terminate the list.
+type TableEntry struct {
+	MaxBytes int  `json:"max_bytes"`
+	Algo     Algo `json:"algo"`
+}
+
+// Table holds calibrated per-operation selection thresholds for one stack.
+// Ops is keyed by OpKind name ("bcast", "allreduce", ...); operations
+// absent from the map keep the built-in default selection.
+type Table struct {
+	// Stack names the MPI stack the table was calibrated on
+	// (cluster.Stack.Name). Tuning.Validate rejects a known mismatch with
+	// the stack selection runs under — see that method for the deliberate
+	// cross-application escape hatch.
+	Stack string                  `json:"stack"`
+	Ops   map[string][]TableEntry `json:"ops"`
+}
+
+// MarshalJSON serializes the algorithm by name.
+func (a Algo) MarshalJSON() ([]byte, error) {
+	if int(a) >= len(algoNames) {
+		return nil, fmt.Errorf("coll: cannot marshal unknown algo %d", uint8(a))
+	}
+	return json.Marshal(a.String())
+}
+
+// UnmarshalJSON parses an algorithm name.
+func (a *Algo) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	got, err := AlgoByName(name)
+	if err != nil {
+		return err
+	}
+	*a = got
+	return nil
+}
+
+// AlgoByName resolves an algorithm name to its enum value.
+func AlgoByName(name string) (Algo, error) {
+	for i, n := range algoNames {
+		if n == name {
+			return Algo(i), nil
+		}
+	}
+	return AlgoAuto, fmt.Errorf("coll: unknown algorithm %q", name)
+}
+
+// MarshalJSON serializes the operation by name.
+func (o OpKind) MarshalJSON() ([]byte, error) {
+	if int(o) >= len(opNames) {
+		return nil, fmt.Errorf("coll: cannot marshal unknown op %d", uint8(o))
+	}
+	return json.Marshal(o.String())
+}
+
+// UnmarshalJSON parses an operation name.
+func (o *OpKind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	got, err := OpKindByName(name)
+	if err != nil {
+		return err
+	}
+	*o = got
+	return nil
+}
+
+// OpKindByName resolves an operation name to its enum value.
+func OpKindByName(name string) (OpKind, error) {
+	for i, n := range opNames {
+		if n == name {
+			return OpKind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("coll: unknown operation %q", name)
+}
+
+// Validate checks the table's structure: known operations, a registered
+// builder behind every entry, ascending thresholds, and exactly one
+// open-ended entry closing each list. Errors name the offending operation
+// and entry so a hand-edited table fails loudly instead of silently falling
+// back to defaults.
+func (t *Table) Validate() error {
+	for opName, entries := range t.Ops {
+		op, err := OpKindByName(opName)
+		if err != nil {
+			return fmt.Errorf("coll: table for stack %q: %v", t.Stack, err)
+		}
+		if !ByteTunable(op) {
+			return fmt.Errorf("coll: table for stack %q: selection for %s does not key on payload size, a table cannot tune it",
+				t.Stack, op)
+		}
+		if len(entries) == 0 {
+			return fmt.Errorf("coll: table for stack %q: op %s has no entries", t.Stack, op)
+		}
+		prev := -1
+		for i, e := range entries {
+			if e.Algo == AlgoAuto || e.Algo == AlgoTwoLevel {
+				return fmt.Errorf("coll: table for stack %q: op %s entry %d: %s is not a flat algorithm (tables drive flat selection; two-level is topology's decision)",
+					t.Stack, op, i, e.Algo)
+			}
+			if int(e.Algo) >= int(numAlgos) || registry[op][e.Algo] == nil {
+				return fmt.Errorf("coll: table for stack %q: op %s entry %d: no %s builder registered",
+					t.Stack, op, i, e.Algo)
+			}
+			if e.MaxBytes < 0 {
+				if i != len(entries)-1 {
+					return fmt.Errorf("coll: table for stack %q: op %s entry %d: unbounded entry must be last",
+						t.Stack, op, i)
+				}
+				continue
+			}
+			if i == len(entries)-1 {
+				return fmt.Errorf("coll: table for stack %q: op %s: last entry must be unbounded (max_bytes < 0), got %d",
+					t.Stack, op, e.MaxBytes)
+			}
+			if e.MaxBytes <= prev {
+				return fmt.Errorf("coll: table for stack %q: op %s entry %d: max_bytes %d not ascending",
+					t.Stack, op, i, e.MaxBytes)
+			}
+			prev = e.MaxBytes
+		}
+	}
+	return nil
+}
+
+// Lookup returns the table's algorithm for op at bytes of payload, or
+// (AlgoAuto, false) when the table has no entry for op.
+func (t *Table) Lookup(op OpKind, bytes int) (Algo, bool) {
+	if t == nil {
+		return AlgoAuto, false
+	}
+	entries, ok := t.Ops[op.String()]
+	if !ok {
+		return AlgoAuto, false
+	}
+	for _, e := range entries {
+		if e.MaxBytes < 0 || bytes <= e.MaxBytes {
+			return e.Algo, true
+		}
+	}
+	// Validate guarantees an unbounded final entry; an unvalidated table
+	// without one falls through to the defaults rather than panicking.
+	return AlgoAuto, false
+}
+
+// OpNames returns the table's operation names in sorted order — the
+// deterministic iteration order serializers and reports use.
+func (t *Table) OpNames() []string {
+	names := make([]string, 0, len(t.Ops))
+	for n := range t.Ops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// JSON serializes the table deterministically (encoding/json sorts map
+// keys): byte-identical output for identical tables, the property the
+// golden-file tests and CI artifacts rely on.
+func (t *Table) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ParseTable decodes and validates a JSON table. Unknown fields and
+// structural mistakes are errors, not silent fallbacks: a tuning file that
+// does not say what the caller thinks it says must not quietly select
+// defaults.
+func ParseTable(data []byte) (*Table, error) {
+	var t Table
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("coll: parsing tuning table: %v", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// LoadTable parses a serialized tuning table into the Tuning, replacing any
+// previous table. The usual wiring is cfg.Coll.LoadTable(fileBytes) before
+// mpi.Run.
+func (t *Tuning) LoadTable(data []byte) error {
+	tab, err := ParseTable(data)
+	if err != nil {
+		return err
+	}
+	t.Table = tab
+	return nil
+}
+
+// Validate checks the whole Tuning: forced algorithms must have a builder
+// registered for their operation, and a table, when present, must pass its
+// own validation. mpi.Run calls this so misconfiguration fails the run with
+// a message instead of panicking mid-collective or silently selecting
+// defaults.
+func (t *Tuning) Validate() error {
+	if t == nil {
+		return nil
+	}
+	for op, a := range t.Force {
+		if op >= numOps {
+			return fmt.Errorf("coll: tuning forces unknown op %d", uint8(op))
+		}
+		if a == AlgoAuto {
+			continue // explicit "let the selector choose"
+		}
+		if a != AlgoTwoLevel && (int(a) >= int(numAlgos) || registry[op][a] == nil) {
+			return fmt.Errorf("coll: tuning forces %s for %s, but no such builder is registered", a, op)
+		}
+		if a == AlgoTwoLevel && registry[op][AlgoTwoLevel] == nil {
+			return fmt.Errorf("coll: tuning forces two-level for %s, but %s has no two-level builder", op, op)
+		}
+	}
+	if t.Table != nil {
+		if err := t.Table.Validate(); err != nil {
+			return err
+		}
+		// A table calibrated on one stack silently mis-selecting on another
+		// is the exact failure per-stack calibration exists to prevent, so
+		// a known mismatch is an error. Cross-stack application remains
+		// possible deliberately: set Tuning.Stack to the table's stack (the
+		// cache keys then record the calibration identity actually in
+		// force).
+		if t.Stack != "" && t.Table.Stack != "" && t.Stack != t.Table.Stack {
+			return fmt.Errorf("coll: tuning table calibrated for stack %q but selection runs as %q; set Tuning.Stack to the table's stack to apply it deliberately",
+				t.Table.Stack, t.Stack)
+		}
+	}
+	return nil
+}

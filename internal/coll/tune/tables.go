@@ -1,0 +1,69 @@
+package tune
+
+import (
+	"embed"
+	"fmt"
+	"io/fs"
+	"sort"
+	"sync"
+
+	"repro/internal/coll"
+)
+
+// The embedded calibrations: one table per preset stack, emitted by
+//
+//	go run ./cmd/colltune -stack all -out internal/coll/tune/tables
+//
+// and committed. They are build artifacts of the deterministic simulator,
+// so regeneration on any machine reproduces them byte-for-byte; the golden
+// tests assert as much.
+//
+//go:embed tables/*.json
+var tablesFS embed.FS
+
+var (
+	tablesOnce sync.Once
+	tables     map[string]*coll.Table
+)
+
+func loadTables() {
+	tables = make(map[string]*coll.Table)
+	entries, err := fs.ReadDir(tablesFS, "tables")
+	if err != nil {
+		panic(fmt.Sprintf("tune: embedded tables unreadable: %v", err))
+	}
+	for _, e := range entries {
+		data, err := tablesFS.ReadFile("tables/" + e.Name())
+		if err != nil {
+			panic(fmt.Sprintf("tune: embedded table %s unreadable: %v", e.Name(), err))
+		}
+		t, err := coll.ParseTable(data)
+		if err != nil {
+			// Embedded tables are commit-time artifacts; a malformed one is
+			// a build bug, not a runtime condition.
+			panic(fmt.Sprintf("tune: embedded table %s: %v", e.Name(), err))
+		}
+		tables[t.Stack] = t
+	}
+}
+
+// TableFor returns the embedded calibrated table for the named stack
+// (cluster.Stack.Name), or nil when no calibration ships for it. The usual
+// wiring:
+//
+//	cfg.Coll.Table = tune.TableFor(cfg.Stack.Name)
+func TableFor(stack string) *coll.Table {
+	tablesOnce.Do(loadTables)
+	return tables[stack]
+}
+
+// CalibratedStacks lists the stacks with embedded tables, sorted by name.
+func CalibratedStacks() []string {
+	tablesOnce.Do(loadTables)
+	names := make([]string, 0, len(tables))
+	for n := range tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,268 @@
+package tune
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/cluster"
+	"repro/internal/coll"
+	"repro/internal/topo"
+	"repro/mpi"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func smallOpts() Options {
+	return Options{NP: 4, Iters: 2, Sizes: []int{1 << 10, 64 << 10}}
+}
+
+// TestSweepGoldenDeterminism: colltune on a fixed simnet config twice
+// produces byte-identical JSON tables, and those bytes match the committed
+// golden file — calibration is a pure function of the configuration.
+func TestSweepGoldenDeterminism(t *testing.T) {
+	res1, err := Sweep(cluster.MPICH2NmadIB(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Sweep(cluster.MPICH2NmadIB(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := res1.Table.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := res2.Table.JSON()
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("two identical sweeps emitted different tables:\n%s\nvs\n%s", b1, b2)
+	}
+	// The full results (points included) must agree too, not just the table.
+	j1, _ := json.Marshal(res1)
+	j2, _ := json.Marshal(res2)
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("two identical sweeps measured different points")
+	}
+
+	golden := filepath.Join("testdata", "golden-small.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, b1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(b1, want) {
+		t.Fatalf("sweep diverged from golden file %s:\n got:\n%s\nwant:\n%s\n(rerun with -update if the change is intended)",
+			golden, b1, want)
+	}
+}
+
+// TestEmbeddedTablesReproducible: re-running the default calibration grid
+// reproduces the committed embedded table byte-for-byte.
+func TestEmbeddedTablesReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full calibration grid in -short mode")
+	}
+	res, err := Sweep(cluster.MPICH2NmadIB(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.Table.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("tables", "mpich2-nmad-ib.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("embedded table for mpich2-nmad-ib is stale — regenerate with\n  go run ./cmd/colltune -stack all -out internal/coll/tune/tables\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestEmbeddedTablesPresent: every preset stack ships a valid calibration
+// and TableFor resolves it.
+func TestEmbeddedTablesPresent(t *testing.T) {
+	for _, s := range PresetStacks() {
+		tab := TableFor(s.Name)
+		if tab == nil {
+			t.Errorf("no embedded table for preset stack %q", s.Name)
+			continue
+		}
+		if tab.Stack != s.Name {
+			t.Errorf("table for %q names stack %q", s.Name, tab.Stack)
+		}
+		if err := tab.Validate(); err != nil {
+			t.Errorf("embedded table for %q invalid: %v", s.Name, err)
+		}
+	}
+	if got := len(CalibratedStacks()); got != len(PresetStacks()) {
+		t.Errorf("CalibratedStacks lists %d stacks, presets are %d", got, len(PresetStacks()))
+	}
+}
+
+// TestCalibratedChangesSelection: the acceptance criterion that calibration
+// is not a no-op — at least one embedded table flips at least one selection
+// away from the built-in defaults (and the flip is visible through the same
+// Tuning.Select path mpi uses).
+func TestCalibratedChangesSelection(t *testing.T) {
+	var def *coll.Tuning
+	sizes := []int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 8 << 20}
+	changed := 0
+	var first string
+	for _, name := range CalibratedStacks() {
+		tn := &coll.Tuning{Table: TableFor(name), Stack: name}
+		for _, op := range DefaultOps() {
+			for _, np := range []int{4, 8} {
+				for _, b := range sizes {
+					got := tn.Select(op, np, b, false)
+					want := def.Select(op, np, b, false)
+					if got != want {
+						if changed == 0 {
+							first = name + "/" + op.String()
+						}
+						changed++
+					}
+				}
+			}
+		}
+	}
+	if changed == 0 {
+		t.Fatal("no embedded table changes any selection — calibration is a no-op")
+	}
+	t.Logf("calibration flips %d grid selections (first: %s)", changed, first)
+}
+
+// TestCheckCleanAndTunedNeverSlower: Check finds no violation on a fresh
+// sweep — the tuned table's pick is ≤ the default pick on every swept
+// point, the colltune -check contract.
+func TestCheckCleanAndTunedNeverSlower(t *testing.T) {
+	res, err := Sweep(cluster.MPICH2NmadIB(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viols := Check(res); len(viols) != 0 {
+		for _, v := range viols {
+			t.Errorf("violation: %s", v)
+		}
+	}
+}
+
+func TestSweepRejectsNonByteTunable(t *testing.T) {
+	_, err := Sweep(cluster.MPICH2NmadIB(), Options{
+		NP: 4, Iters: 1, Sizes: []int{1024}, Ops: []coll.OpKind{coll.OpAlltoallv},
+	})
+	if err == nil || !strings.Contains(err.Error(), "does not key on payload size") {
+		t.Fatalf("alltoallv sweep: err = %v, want byte-tunability complaint", err)
+	}
+}
+
+// TestEmbeddedCalibrationRuns: the shipped per-stack calibration loads
+// through the public mpi wiring and the engine runs correctly under it.
+// (Lives here rather than in mpi's tests because mpi importing tune would
+// cycle: tune → bench → mpi.)
+func TestEmbeddedCalibrationRuns(t *testing.T) {
+	stack := cluster.MPICH2NmadIB()
+	cfg := mpi.Config{
+		Cluster: cluster.Xeon2(),
+		Stack:   stack,
+		NP:      8,
+	}
+	cfg.Coll.Table = TableFor(stack.Name)
+	if cfg.Coll.Table == nil {
+		t.Fatal("no embedded table for mpich2-nmad-ib")
+	}
+	_, err := mpi.Run(cfg, func(c *mpi.Comm) {
+		x := make([]float64, 4096)
+		for i := range x {
+			x[i] = 1
+		}
+		c.AllreduceF64(x, mpi.OpSum)
+		if x[0] != float64(c.Size()) {
+			t.Errorf("rank %d: allreduce under calibration = %g, want %d", c.Rank(), x[0], c.Size())
+		}
+		data := make([]byte, 64<<10)
+		if c.Rank() == 0 {
+			for i := range data {
+				data[i] = 0x5C
+			}
+		}
+		c.Bcast(0, data)
+		if data[len(data)-1] != 0x5C {
+			t.Errorf("rank %d: bcast under calibration lost payload", c.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCalibrationBeatsDefaultsEndToEnd: on a point where the calibrated
+// table disagrees with the defaults, the tuned engine run is at least as
+// fast in virtual time — the -check contract, demonstrated through the
+// public API rather than the sweep bookkeeping.
+func TestCalibrationBeatsDefaultsEndToEnd(t *testing.T) {
+	stack := cluster.MPICH2NmadIB()
+	tab := TableFor(stack.Name)
+	var def *coll.Tuning
+	tuned := &coll.Tuning{Table: tab, Stack: stack.Name}
+
+	// Find a disagreement point on the bcast ladder (the calibration keeps
+	// binomial far past the default 12 KB switch on this stack).
+	const np = 8
+	bytes := -1
+	for _, b := range []int{16 << 10, 64 << 10, 256 << 10, 1 << 20} {
+		if tuned.Select(coll.OpBcast, np, b, false) != def.Select(coll.OpBcast, np, b, false) {
+			bytes = b
+			break
+		}
+	}
+	if bytes < 0 {
+		t.Skip("calibration agrees with defaults on the whole bcast ladder")
+	}
+	measure := func(table *coll.Table) float64 {
+		cfg := mpi.Config{
+			Cluster:   cluster.Xeon2(),
+			Stack:     stack,
+			NP:        np,
+			Placement: topo.Block(np, cluster.Xeon2().NumNodes),
+		}
+		cfg.Coll.Table = table
+		rep, err := mpi.Run(cfg, func(c *mpi.Comm) {
+			data := make([]byte, bytes)
+			for i := 0; i < 4; i++ {
+				c.Bcast(0, data)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Seconds
+	}
+	tTuned, tDef := measure(tab), measure(nil)
+	if tTuned > tDef {
+		t.Errorf("tuned bcast at %dB: %.3gs > default %.3gs", bytes, tTuned, tDef)
+	}
+	if tTuned == tDef {
+		t.Errorf("tuned and default runs identical at %dB despite differing selection", bytes)
+	}
+}
+
+func TestStackByName(t *testing.T) {
+	if _, ok := StackByName("mvapich2"); !ok {
+		t.Error("mvapich2 preset not found")
+	}
+	if _, ok := StackByName("nope"); ok {
+		t.Error("unknown stack resolved")
+	}
+}

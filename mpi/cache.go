@@ -24,6 +24,16 @@ type schedEntry struct {
 	inUse bool
 }
 
+// countCompile records an out-of-cache compilation (the aliased-views
+// bypass in schedViews) so SchedCacheStats and the collbench Compiles
+// column see every build, cached path or not.
+func (c *Comm) countCompile() {
+	if c.cache == nil {
+		c.cache = &schedCache{entries: make(map[coll.Key]*schedEntry)}
+	}
+	c.cache.compiles++
+}
+
 // acquireSched returns a ready-to-run schedule for key bound to a's buffers,
 // and the release function that returns it to the cache. While an entry is
 // in flight (a nonblocking collective not yet complete), a second request

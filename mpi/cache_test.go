@@ -273,3 +273,121 @@ func TestCollectiveValidation(t *testing.T) {
 		})
 	}
 }
+
+// TestAliasedAlltoallBypassesCache: fully aliased block views (NAS IS's
+// class-size volume exchange shares one workspace block across all peers)
+// must not enter the schedule cache — positional rebinding cannot tell
+// identical regions apart, so a cached aliased schedule would poison a
+// later same-key call with distinct blocks. The aliased call compiles a
+// throwaway schedule; the distinct-block shape before and after it stays
+// cached and correct.
+func TestAliasedAlltoallBypassesCache(t *testing.T) {
+	const np, b = 4, 8
+	_, err := Run(xeonCfg(np, cluster.MPICH2NmadIB()), func(c *Comm) {
+		me := c.Rank()
+		distinct := func(tag byte) ([][]byte, [][]byte) {
+			send := make([][]byte, np)
+			recv := make([][]byte, np)
+			for r := range send {
+				send[r] = make([]byte, b)
+				for i := range send[r] {
+					send[r][i] = tag + byte(me)
+				}
+				recv[r] = make([]byte, b)
+			}
+			return send, recv
+		}
+		verify := func(step string, recv [][]byte, tag byte) {
+			for r := range recv {
+				for i := range recv[r] {
+					if recv[r][i] != tag+byte(r) {
+						t.Errorf("rank %d %s: recv[%d][%d] = %d, want %d",
+							me, step, r, i, recv[r][i], tag+byte(r))
+						return
+					}
+				}
+			}
+		}
+
+		s1, r1 := distinct(10)
+		c.Alltoall(s1, r1)
+		verify("before aliased call", r1, 10)
+
+		// IS-style volume exchange: every block is the same shared buffer
+		// on both sides. Data is garbage by design; the call must neither
+		// panic nor poison the cache entry for this shape.
+		shared := make([]byte, b)
+		sharedIn := make([]byte, b)
+		aliasedS := make([][]byte, np)
+		aliasedR := make([][]byte, np)
+		for r := range aliasedS {
+			aliasedS[r] = shared
+			aliasedR[r] = sharedIn
+		}
+		c.Alltoall(aliasedS, aliasedR)
+
+		s2, r2 := distinct(100)
+		c.Alltoall(s2, r2)
+		verify("after aliased call", r2, 100)
+
+		if compiles, hits := c.SchedCacheStats(); compiles != 2 || hits != 1 {
+			t.Errorf("rank %d: compiles/hits = %d/%d, want 2/1 (aliased call compiled uncached)",
+				me, compiles, hits)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInPlaceAllgatherBypassesCache: aliasing *across* argument slots —
+// mine being out[rank], the natural in-place allgather shape — must bypass
+// the cache exactly like within-list aliasing: the flattened buffer-args
+// view the rebinder sees holds two identical regions, which positional
+// rebinding cannot tell apart on a later same-key call.
+func TestInPlaceAllgatherBypassesCache(t *testing.T) {
+	const np, b = 4, 16
+	_, err := Run(xeonCfg(np, cluster.MPICH2NmadIB()), func(c *Comm) {
+		me := c.Rank()
+		mkOut := func(tag byte) [][]byte {
+			out := make([][]byte, np)
+			for r := range out {
+				out[r] = make([]byte, b)
+			}
+			for i := range out[me] {
+				out[me][i] = tag + byte(me)
+			}
+			return out
+		}
+		verify := func(step string, out [][]byte, tag byte) {
+			for r := range out {
+				if out[r][0] != tag+byte(r) || out[r][b-1] != tag+byte(r) {
+					t.Errorf("rank %d %s: out[%d] = %v, want filled with %d",
+						me, step, r, out[r][:2], tag+byte(r))
+					return
+				}
+			}
+		}
+
+		// In-place: mine aliases out[me].
+		inPlace := mkOut(10)
+		c.Allgather(inPlace[me], inPlace)
+		verify("in-place", inPlace, 10)
+
+		// Same key, fully distinct buffers: must not inherit a schedule
+		// compiled over the aliased layout.
+		out := mkOut(100)
+		mine := make([]byte, b)
+		copy(mine, out[me])
+		c.Allgather(mine, out)
+		verify("distinct after in-place", out, 100)
+
+		if compiles, hits := c.SchedCacheStats(); compiles != 2 || hits != 0 {
+			t.Errorf("rank %d: compiles/hits = %d/%d, want 2/0 (in-place call compiled uncached)",
+				me, compiles, hits)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

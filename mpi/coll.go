@@ -90,15 +90,35 @@ func (c *Comm) sched(op coll.OpKind, a coll.Args) (*coll.Schedule, func()) {
 	return c.acquireSched(key, a)
 }
 
-// schedUncached compiles a throwaway schedule outside the cache — for
-// aliased block views, whose positional rebinding would be ambiguous on a
-// later same-key call.
-func (c *Comm) schedUncached(op coll.OpKind, a coll.Args) *coll.Schedule {
-	a.Rank, a.Size = c.rank, len(c.group)
-	if c.twoLvl {
-		a.Nodes = c.nodes
+// schedViews is sched for the uniform block-view entry points, whose
+// arguments may carry aliased views. Aliased views bypass the cache
+// entirely: positional rebinding cannot tell identical regions apart, so
+// caching a schedule built over overlapping regions would poison later
+// same-key calls (the counts signature only sees lengths). Such layouts
+// are legal here — NAS IS exchanges class-size volume through one shared
+// workspace block, and in-place shapes like Allgather(out[me], out) alias
+// *across* argument slots — so the scan runs over every caller byte
+// region combined, the same flattening BufArgs hands the rebinder. The
+// vector entry points never need this check: their overlap analysis
+// already happened (send overlaps keyed exactly via SDispls, receive and
+// cross-buffer overlaps rejected), so they call sched directly and keep
+// the hot cached path free of re-analysis.
+func (c *Comm) schedViews(op coll.OpKind, a coll.Args) (*coll.Schedule, func()) {
+	regions := make([][]byte, 0, len(a.Send)+len(a.Recv)+len(a.Out)+2)
+	regions = append(regions, a.Data, a.Mine)
+	regions = append(regions, a.Send...)
+	regions = append(regions, a.Recv...)
+	regions = append(regions, a.Out...)
+	if blocksAlias(regions) {
+		a.Rank, a.Size = c.rank, len(c.group)
+		if c.twoLvl {
+			a.Nodes = c.nodes
+		}
+		key := coll.KeyFor(&c.cfg.Coll, op, a, a.Nodes != nil)
+		c.countCompile()
+		return coll.Build(key, a), func() {}
 	}
-	return coll.Build(coll.KeyFor(&c.cfg.Coll, op, a, a.Nodes != nil), a)
+	return c.sched(op, a)
 }
 
 // ---- blocking collectives ----------------------------------------------------
@@ -138,7 +158,7 @@ func (c *Comm) ReduceF64(root int, x []float64, op coll.Op) {
 // Allgather collects each rank's block into out[r].
 func (c *Comm) Allgather(mine []byte, out [][]byte) {
 	c.checkAllgather("Allgather", mine, out)
-	s, release := c.sched(coll.OpAllgather, coll.Args{Mine: mine, Out: out})
+	s, release := c.schedViews(coll.OpAllgather, coll.Args{Mine: mine, Out: out})
 	coll.ExecBlocking(c, s, tagAllgather)
 	release()
 }
@@ -146,7 +166,7 @@ func (c *Comm) Allgather(mine []byte, out [][]byte) {
 // Alltoall exchanges send[r] → rank r into recv[s].
 func (c *Comm) Alltoall(send, recv [][]byte) {
 	c.checkAlltoall("Alltoall", send, recv)
-	s, release := c.sched(coll.OpAlltoall, coll.Args{Send: send, Recv: recv})
+	s, release := c.schedViews(coll.OpAlltoall, coll.Args{Send: send, Recv: recv})
 	coll.ExecBlocking(c, s, tagAlltoall)
 	release()
 }
@@ -154,7 +174,7 @@ func (c *Comm) Alltoall(send, recv [][]byte) {
 // Gather collects blocks at root (out[r] is filled on root only).
 func (c *Comm) Gather(root int, mine []byte, out [][]byte) {
 	c.checkGather("Gather", root, mine, out)
-	s, release := c.sched(coll.OpGather, coll.Args{Root: root, Mine: mine, Out: out})
+	s, release := c.schedViews(coll.OpGather, coll.Args{Root: root, Mine: mine, Out: out})
 	coll.ExecBlocking(c, s, tagGather)
 	release()
 }
@@ -163,7 +183,7 @@ func (c *Comm) Gather(root int, mine []byte, out [][]byte) {
 // blocks is only read on root).
 func (c *Comm) Scatter(root int, blocks [][]byte, buf []byte) {
 	c.checkScatter("Scatter", root, blocks, buf)
-	s, release := c.sched(coll.OpScatter, coll.Args{Root: root, Send: blocks, Mine: buf})
+	s, release := c.schedViews(coll.OpScatter, coll.Args{Root: root, Send: blocks, Mine: buf})
 	coll.ExecBlocking(c, s, tagScatter)
 	release()
 }
@@ -285,6 +305,12 @@ func (c *Comm) nbcStart(op coll.OpKind, a coll.Args) *Request {
 	return c.nbcStartSched(s, release)
 }
 
+// nbcStartViews is nbcStart through schedViews (possibly aliased views).
+func (c *Comm) nbcStartViews(op coll.OpKind, a coll.Args) *Request {
+	s, release := c.schedViews(op, a)
+	return c.nbcStartSched(s, release)
+}
+
 // nbcStartSched hands a compiled schedule to the nonblocking engine;
 // release (nil for uncached schedules) runs when the operation completes.
 func (c *Comm) nbcStartSched(s *coll.Schedule, release func()) *Request {
@@ -323,26 +349,26 @@ func (c *Comm) IreduceF64(root int, x []float64, op coll.Op) *Request {
 // Iallgather starts a nonblocking allgather of each rank's block into out[r].
 func (c *Comm) Iallgather(mine []byte, out [][]byte) *Request {
 	c.checkAllgather("Iallgather", mine, out)
-	return c.nbcStart(coll.OpAllgather, coll.Args{Mine: mine, Out: out})
+	return c.nbcStartViews(coll.OpAllgather, coll.Args{Mine: mine, Out: out})
 }
 
 // Ialltoall starts a nonblocking alltoall exchange send[r] → rank r.
 func (c *Comm) Ialltoall(send, recv [][]byte) *Request {
 	c.checkAlltoall("Ialltoall", send, recv)
-	return c.nbcStart(coll.OpAlltoall, coll.Args{Send: send, Recv: recv})
+	return c.nbcStartViews(coll.OpAlltoall, coll.Args{Send: send, Recv: recv})
 }
 
 // Igather starts a nonblocking gather of blocks at root.
 func (c *Comm) Igather(root int, mine []byte, out [][]byte) *Request {
 	c.checkGather("Igather", root, mine, out)
-	return c.nbcStart(coll.OpGather, coll.Args{Root: root, Mine: mine, Out: out})
+	return c.nbcStartViews(coll.OpGather, coll.Args{Root: root, Mine: mine, Out: out})
 }
 
 // Iscatter starts a nonblocking scatter of blocks[r] from root to rank r's
 // buf (blocks is only read on root).
 func (c *Comm) Iscatter(root int, blocks [][]byte, buf []byte) *Request {
 	c.checkScatter("Iscatter", root, blocks, buf)
-	return c.nbcStart(coll.OpScatter, coll.Args{Root: root, Send: blocks, Mine: buf})
+	return c.nbcStartViews(coll.OpScatter, coll.Args{Root: root, Send: blocks, Mine: buf})
 }
 
 // ---- argument validation -----------------------------------------------------

@@ -121,35 +121,29 @@ func (c *Comm) unpackD(user, wire []byte, dt Datatype) {
 // block-view form of Alltoallv and compiles through the same schedule
 // engine: per-rank pairwise rounds with zero-length blocks elided, cached
 // and rebound per communicator like every other collective. Send blocks may
-// alias each other (a schedule over aliased views bypasses the cache, whose
-// positional rebinding cannot tell overlapping regions apart); aliased
-// receive blocks panic. This is the primitive the IS kernel needs.
+// alias each other (sched compiles schedules over aliased views outside
+// the cache, whose positional rebinding cannot tell overlapping regions
+// apart); aliased receive blocks panic. This is the primitive the IS
+// kernel needs.
 func (c *Comm) AlltoallvBytes(send, recv [][]byte) {
-	a, aliased := c.alltoallvBytesArgs("AlltoallvBytes", send, recv)
-	if aliased {
-		coll.ExecBlocking(c, c.schedUncached(coll.OpAlltoallv, a), tagAlltoallv)
-		return
-	}
-	s, release := c.sched(coll.OpAlltoallv, a)
+	a := c.alltoallvBytesArgs("AlltoallvBytes", send, recv)
+	s, release := c.schedViews(coll.OpAlltoallv, a)
 	coll.ExecBlocking(c, s, tagAlltoallv)
 	release()
 }
 
 // IalltoallvBytes starts a nonblocking block-view alltoallv.
 func (c *Comm) IalltoallvBytes(send, recv [][]byte) *Request {
-	a, aliased := c.alltoallvBytesArgs("IalltoallvBytes", send, recv)
-	if aliased {
-		return c.nbcStartSched(c.schedUncached(coll.OpAlltoallv, a), nil)
-	}
-	return c.nbcStart(coll.OpAlltoallv, a)
+	a := c.alltoallvBytesArgs("IalltoallvBytes", send, recv)
+	return c.nbcStartViews(coll.OpAlltoallv, a)
 }
 
-func (c *Comm) alltoallvBytesArgs(op string, send, recv [][]byte) (coll.Args, bool) {
+func (c *Comm) alltoallvBytesArgs(op string, send, recv [][]byte) coll.Args {
 	c.checkAlltoall(op, send, recv)
 	if blocksAlias(recv) {
 		panic(fmt.Sprintf("mpi: %s: overlapping recv blocks", op))
 	}
-	return coll.Args{Send: send, Recv: recv}, blocksAlias(send)
+	return coll.Args{Send: send, Recv: recv}
 }
 
 // blocksAlias reports whether any two nonzero blocks overlap in memory.

@@ -29,7 +29,10 @@
 // payload size, rank count and topology: binomial vs scatter-allgather
 // broadcast, recursive-doubling vs Rabenseifner allreduce, Bruck vs ring
 // allgather, flat vs two-level hierarchical variants (the selection table
-// lives in internal/coll/README.md, tunable via Config.Coll).
+// lives in internal/coll/README.md, tunable via Config.Coll). Selection is
+// data-driven when a calibrated tuning table is installed (see
+// Config.Coll): per-stack crossover thresholds measured by cmd/colltune
+// replace the hard-coded MPICH-flavoured defaults.
 //
 // Schedules are persistent: each communicator caches compiled schedules by
 // shape (operation, algorithm, root, counts), so a collective repeated in a
@@ -111,9 +114,16 @@ type Config struct {
 	// Alltoall and their nonblocking counterparts when several ranks share a
 	// node.
 	TwoLevelColl bool
-	// Coll tunes collective algorithm selection (thresholds, forced
-	// algorithms). The zero value selects the defaults documented in
-	// internal/coll/README.md.
+	// Coll tunes collective algorithm selection: forced algorithms,
+	// threshold overrides, and calibrated per-stack tuning tables. The zero
+	// value selects the defaults documented in internal/coll/README.md. A
+	// table loads from a colltune-emitted JSON file via
+	// cfg.Coll.LoadTable(data), or from the embedded per-stack calibrations
+	// via cfg.Coll.Table = tune.TableFor(cfg.Stack.Name). Run fills
+	// Coll.Stack from Stack.Name (when unset) so the stack identity flows
+	// into selection and every coll.Key, and rejects malformed tuning
+	// (unregistered forced algorithms, invalid tables) with an error
+	// instead of silently falling back.
 	Coll coll.Tuning
 	// NoSchedCache disables the per-communicator persistent-schedule cache,
 	// recompiling every collective invocation. Virtual-time results are
@@ -146,6 +156,12 @@ func Run(cfg Config, main func(*Comm)) (*Report, error) {
 	}
 	if err := cfg.Cluster.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Coll.Stack == "" {
+		cfg.Coll.Stack = cfg.Stack.Name
+	}
+	if err := cfg.Coll.Validate(); err != nil {
+		return nil, fmt.Errorf("mpi: %v", err)
 	}
 	placement := cfg.Placement
 	if placement == nil {
