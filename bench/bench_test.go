@@ -156,7 +156,7 @@ func TestRunNASProducesTables(t *testing.T) {
 	kernels := []nas.Kernel{nas.EP(), nas.MG()}
 	res, err := RunNAS(nas.ClassS, 8, kernels, []cluster.Stack{
 		cluster.MVAPICH2(), cluster.MPICH2NmadIB(),
-	})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

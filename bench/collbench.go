@@ -33,6 +33,9 @@ type CollBenchOptions struct {
 	NP int
 	// Algo forces one algorithm (coll.AlgoAuto lets the selector choose).
 	Algo coll.Algo
+	// Seg forces the pipeline segment size of the segmented algorithms in
+	// bytes (0 = table entry's seg, then coll.DefSegBytes).
+	Seg int
 	// Table supplies calibrated selection thresholds for the auto rows
 	// (nil keeps the built-in defaults). Ignored when Algo forces a pick.
 	Table *coll.Table
@@ -176,6 +179,7 @@ func CollBenchOnce(stack cluster.Stack, o CollBenchOptions) (CollBenchResult, er
 		cfg.Coll.Force = map[coll.OpKind]coll.Algo{kind: o.Algo}
 	}
 	cfg.Coll.Table = o.Table
+	cfg.Coll.SegBytes = o.Seg
 
 	var res CollBenchResult
 	start := time.Now()

@@ -109,3 +109,57 @@ func TestNbcOverlapVectorOps(t *testing.T) {
 		t.Fatal("unknown overlap op must error")
 	}
 }
+
+// TestChainBeatsBinomialLargeBcast is the segmented-schedules acceptance
+// bar: at >= 256 KiB the pipelined chain broadcast beats the monolithic
+// binomial tree in virtual time on preset stacks — the pipeline moves
+// n·(1 + (p-2)/S) bytes on the critical path against the tree's n·log2(p).
+// Both I* forms pipeline through the same schedules (the nbc engine
+// executes the identical round program), so the blocking measurement pins
+// the algorithmic win.
+func TestChainBeatsBinomialLargeBcast(t *testing.T) {
+	for _, stack := range []cluster.Stack{cluster.MPICH2NmadIB(), cluster.OpenMPIIB()} {
+		for _, bytes := range []int{256 << 10, 1 << 20} {
+			bin, err := CollBenchOnce(stack, CollBenchOptions{
+				Op: "bcast", Bytes: bytes, Iters: 3, NP: 8, Algo: coll.AlgoBinomial,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			chain, err := CollBenchOnce(stack, CollBenchOptions{
+				Op: "bcast", Bytes: bytes, Iters: 3, NP: 8, Algo: coll.AlgoChain, Seg: 16 << 10,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if chain.PerOp >= bin.PerOp {
+				t.Errorf("%s @ %dB: chain %.1fµs >= binomial %.1fµs — pipelining buys nothing",
+					stack.Name, bytes, chain.PerOp*1e6, bin.PerOp*1e6)
+			}
+		}
+	}
+}
+
+// TestSegRingBeatsRabenseifnerLargeAllreduce: the segmented ring allreduce
+// outperforms the monolithic Rabenseifner at large vectors, where the
+// per-segment pipeline overlaps the elementwise reduction with the next
+// segment's transfer.
+func TestSegRingBeatsRabenseifnerLargeAllreduce(t *testing.T) {
+	stack := cluster.MPICH2NmadIB()
+	rab, err := CollBenchOnce(stack, CollBenchOptions{
+		Op: "allreduce", Bytes: 512 << 10, Iters: 3, NP: 8, Algo: coll.AlgoRabenseifner,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := CollBenchOnce(stack, CollBenchOptions{
+		Op: "allreduce", Bytes: 512 << 10, Iters: 3, NP: 8, Algo: coll.AlgoSegRing, Seg: 16 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.PerOp >= rab.PerOp {
+		t.Errorf("segmented ring %.1fµs >= rabenseifner %.1fµs at 512KB",
+			ring.PerOp*1e6, rab.PerOp*1e6)
+	}
+}

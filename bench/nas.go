@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/cluster"
+	"repro/internal/coll"
 	"repro/internal/nas"
 	"repro/mpi"
 )
@@ -30,11 +31,22 @@ func NASStacks() []cluster.Stack {
 	}
 }
 
-// RunNASKernel executes one kernel under one stack on the Grid5000 testbed.
+// RunNASKernel executes one kernel under one stack on the Grid5000 testbed
+// with the default collective selection.
 func RunNASKernel(k nas.Kernel, stack cluster.Stack, np int, class nas.Class) (NASResult, error) {
+	return RunNASKernelTuned(k, stack, np, class, nil)
+}
+
+// RunNASKernelTuned is RunNASKernel with a calibrated tuning table
+// installed (nil keeps the defaults) — the table a cmd/nasbench -tuned run
+// feeds from tune.TableFor. The table is resolved through the same
+// Config.Coll wiring applications use, so a mismatched calibration stack
+// fails the run instead of silently mis-selecting.
+func RunNASKernelTuned(k nas.Kernel, stack cluster.Stack, np int, class nas.Class, table *coll.Table) (NASResult, error) {
 	actual := k.AdjustNP(np)
 	var res nas.Result
 	cfg := mpi.Config{Cluster: cluster.Grid5000(), Stack: stack, NP: actual}
+	cfg.Coll.Table = table
 	_, err := mpi.Run(cfg, func(c *mpi.Comm) {
 		r := k.Run(c, class)
 		if c.Rank() == 0 {
@@ -51,12 +63,18 @@ func RunNASKernel(k nas.Kernel, stack cluster.Stack, np int, class nas.Class) (N
 }
 
 // RunNAS sweeps kernels × stacks at one requested process count (Fig. 8 has
-// one panel per process count: 8/9, 16, 32/36, 64).
-func RunNAS(class nas.Class, np int, kernels []nas.Kernel, stacks []cluster.Stack) ([]NASResult, error) {
+// one panel per process count: 8/9, 16, 32/36, 64). tableFor supplies the
+// calibrated tuning table per stack name (nil, or a nil return, keeps the
+// default selection) — pass tune.TableFor to run the calibrated variant.
+func RunNAS(class nas.Class, np int, kernels []nas.Kernel, stacks []cluster.Stack, tableFor func(string) *coll.Table) ([]NASResult, error) {
 	var out []NASResult
 	for _, k := range kernels {
 		for _, s := range stacks {
-			r, err := RunNASKernel(k, s, np, class)
+			var tab *coll.Table
+			if tableFor != nil {
+				tab = tableFor(s.Name)
+			}
+			r, err := RunNASKernelTuned(k, s, np, class, tab)
 			if err != nil {
 				return nil, err
 			}
@@ -64,6 +82,32 @@ func RunNAS(class nas.Class, np int, kernels []nas.Kernel, stacks []cluster.Stac
 		}
 	}
 	return out, nil
+}
+
+// WriteNASDeltaTable renders a default-vs-tuned comparison: one row per
+// (kernel, stack) pair with both execution times and the relative win of
+// the calibrated tables — the end-to-end answer to "does per-stack
+// calibration move whole kernels, not just microbenchmarks?".
+func WriteNASDeltaTable(w io.Writer, title string, def, tuned []NASResult) {
+	fmt.Fprintf(w, "# %s\n", title)
+	fmt.Fprintf(w, "%-8s %-24s %12s %12s %9s\n", "kernel", "stack", "default", "tuned", "delta")
+	for _, d := range def {
+		for _, t := range tuned {
+			if t.Kernel != d.Kernel || t.Stack != d.Stack || t.NP != d.NP {
+				continue
+			}
+			delta := 0.0
+			if d.Seconds > 0 {
+				delta = (d.Seconds - t.Seconds) / d.Seconds * 100
+			}
+			mark := ""
+			if !d.Verified || !t.Verified {
+				mark = "!"
+			}
+			fmt.Fprintf(w, "%-8s %-24s %11.4fs %11.4fs %8.1f%%%s\n",
+				d.Kernel, d.Stack, d.Seconds, t.Seconds, delta, mark)
+		}
+	}
 }
 
 // WriteNASTable renders results grouped like one Fig. 8 panel: one row per

@@ -31,6 +31,7 @@ type row struct {
 	Op       string  `json:"op"`
 	Algo     string  `json:"algo"`
 	Skew     string  `json:"skew,omitempty"`
+	Seg      int     `json:"seg,omitempty"`
 	Bytes    int     `json:"bytes"`
 	TwoLevel bool    `json:"two_level"`
 	Cache    bool    `json:"cache"`
@@ -84,6 +85,8 @@ func main() {
 		"comma-separated operations to sweep")
 	sizesFlag := flag.String("sizes", "256,4096,65536,524288",
 		"comma-separated payload sizes in bytes")
+	segFlag := flag.String("seg", "",
+		"comma-separated pipeline segment sizes in bytes, swept for the segmented algorithms (empty = the calibrated/default segment size)")
 	jsonOut := flag.Bool("json", false, "emit JSON rows instead of the table")
 	flag.Parse()
 
@@ -95,6 +98,19 @@ func main() {
 		}
 		sizes = append(sizes, n)
 	}
+	// The segmented algorithms sweep the -seg dimension; 0 means "whatever
+	// the tuning resolves" (table seg, then the default).
+	segSweep := []int{0}
+	if *segFlag != "" {
+		segSweep = nil
+		for _, f := range strings.Split(*segFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				log.Fatalf("bad segment size %q", f)
+			}
+			segSweep = append(segSweep, n)
+		}
+	}
 	ops := strings.Split(*opsFlag, ",")
 	for i := range ops {
 		ops[i] = strings.TrimSpace(ops[i])
@@ -102,9 +118,9 @@ func main() {
 	stack := cluster.MPICH2NmadIB()
 
 	var rows []row
-	measure := func(op string, algo coll.Algo, skew string, bytes int, cache bool) row {
+	measure := func(op string, algo coll.Algo, skew string, seg, bytes int, cache bool) row {
 		o := bench.CollBenchOptions{
-			Op: op, Bytes: bytes, Iters: *iters, NP: *np, Skew: skew,
+			Op: op, Bytes: bytes, Iters: *iters, NP: *np, Skew: skew, Seg: seg,
 			TwoLevel: algo == coll.AlgoTwoLevel,
 			NoCache:  !cache,
 		}
@@ -113,9 +129,9 @@ func main() {
 		}
 		r, err := bench.CollBenchOnce(stack, o)
 		if err != nil {
-			log.Fatalf("%s/%s/%s/%dB: %v", op, algo, skew, bytes, err)
+			log.Fatalf("%s/%s/%s/seg%d/%dB: %v", op, algo, skew, seg, bytes, err)
 		}
-		return row{Op: op, Algo: algo.String(), Skew: skew, Bytes: bytes,
+		return row{Op: op, Algo: algo.String(), Skew: skew, Seg: seg, Bytes: bytes,
 			TwoLevel: algo == coll.AlgoTwoLevel, Cache: cache,
 			PerOpUS: r.PerOp * 1e6, HostMS: r.HostMS,
 			Compiles: r.Compiles, Hits: r.Hits}
@@ -128,8 +144,8 @@ func main() {
 		}
 		for _, bytes := range sizes {
 			for _, skew := range skews {
-				rows = append(rows, measure(op, coll.AlgoAuto, skew, bytes, true))
-				rows = append(rows, measure(op, coll.AlgoAuto, skew, bytes, false))
+				rows = append(rows, measure(op, coll.AlgoAuto, skew, 0, bytes, true))
+				rows = append(rows, measure(op, coll.AlgoAuto, skew, 0, bytes, false))
 				for _, algo := range candidates(op) {
 					// Skip forced picks the builder would silently replace
 					// at this rank count — they duplicate another row under
@@ -137,7 +153,13 @@ func main() {
 					if kind, err := bench.OpKindOf(op); err == nil && coll.FallsBack(kind, algo, *np) {
 						continue
 					}
-					rows = append(rows, measure(op, algo, skew, bytes, true))
+					segs := []int{0}
+					if coll.Segmented(algo) {
+						segs = segSweep
+					}
+					for _, seg := range segs {
+						rows = append(rows, measure(op, algo, skew, seg, bytes, true))
+					}
 				}
 			}
 		}
@@ -172,8 +194,12 @@ func main() {
 		if skew == "" {
 			skew = "-"
 		}
+		algoLbl := r.Algo
+		if r.Seg > 0 {
+			algoLbl += "/" + bench.SizeLabel(float64(r.Seg))
+		}
 		fmt.Printf("%-14s %-18s %-8s %-10s %-6s %10.1fµs %8.0fms %9d/%-5d%s\n",
-			r.Op, r.Algo, skew, bench.SizeLabel(float64(r.Bytes)), cacheLbl,
+			r.Op, algoLbl, skew, bench.SizeLabel(float64(r.Bytes)), cacheLbl,
 			r.PerOpUS, r.HostMS, r.Compiles, r.Hits, marker)
 	}
 	fmt.Println("\ncache=on rows compile once and rebind; cache=off rows recompile per call;")

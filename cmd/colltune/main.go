@@ -9,11 +9,18 @@
 //	colltune -stack all -out DIR      # regenerate every embedded table
 //	colltune -check                   # assert tuned ≤ default on every swept point
 //	colltune -smoke -out table.json   # tiny CI grid, implies -check
+//	colltune -diff stackA stackB      # selection disagreements between two tables
+//
+// -diff takes two embedded stack names (or paths to colltune-emitted JSON
+// files) and prints every (op, size) of the sweep grid where the two
+// calibrations select differently — the paper's crossover-shift argument
+// made directly visible.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -41,9 +48,22 @@ func main() {
 		"verify the tuned table is never slower than the defaults on any swept point")
 	smoke := flag.Bool("smoke", false,
 		"tiny CI grid (np=4, iters=2, two sizes); implies -check")
+	segsFlag := flag.String("segs", "",
+		"comma-separated pipeline segment sizes in bytes swept for the segmented algorithms (default 4K,16K,64K)")
+	diff := flag.Bool("diff", false,
+		"compare two tables: colltune -diff stackA stackB (embedded stack names or JSON files)")
 	flag.Parse()
 
 	opts := tune.Options{NP: *np, Iters: *iters}
+	if *segsFlag != "" {
+		for _, f := range strings.Split(*segsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				log.Fatalf("bad segment size %q", f)
+			}
+			opts.Segs = append(opts.Segs, n)
+		}
+	}
 	if *sizesFlag != "" {
 		for _, f := range strings.Split(*sizesFlag, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(f))
@@ -70,6 +90,18 @@ func main() {
 			opts.Ops = append(opts.Ops, op)
 		}
 	}
+	if *diff {
+		if flag.NArg() != 2 {
+			log.Fatal("-diff needs exactly two arguments: embedded stack names or table files")
+		}
+		if n := diffTables(os.Stdout, loadTableArg(flag.Arg(0)), loadTableArg(flag.Arg(1)), opts); n > 0 {
+			log.Printf("%d selection disagreements", n)
+		} else {
+			log.Print("tables agree on the whole grid")
+		}
+		return
+	}
+
 	// -smoke shrinks the grid but never overrides a flag the user set
 	// explicitly (the table's selector-space coordinates depend on -np).
 	set := make(map[string]bool)
@@ -109,12 +141,86 @@ func main() {
 		stacks = []cluster.Stack{s}
 	}
 
+	runSweeps(stacks, opts, *stackFlag, *out, *check)
+}
+
+// loadTableArg resolves a -diff argument: an embedded per-stack
+// calibration by name, or a colltune-emitted JSON file by path.
+func loadTableArg(arg string) *coll.Table {
+	if t := tune.TableFor(arg); t != nil {
+		return t
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		log.Fatalf("%q is neither an embedded stack (%s) nor a readable table file: %v",
+			arg, strings.Join(tune.CalibratedStacks(), ", "), err)
+	}
+	t, err := coll.ParseTable(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return t
+}
+
+// diffTables prints every (op, size) of the sweep grid where the two
+// calibrations pick a different algorithm or segment size, resolving both
+// through the same Tuning.Select/SegFor path mpi uses (so builder
+// fallbacks at this -np are honoured), and returns the disagreement count.
+func diffTables(w io.Writer, ta, tb *coll.Table, opts tune.Options) int {
+	tunA := &coll.Tuning{Table: ta, Stack: ta.Stack}
+	tunB := &coll.Tuning{Table: tb, Stack: tb.Stack}
+	np := opts.NP
+	if np == 0 {
+		np = 8
+	}
+	sizes := opts.Sizes
+	if len(sizes) == 0 {
+		sizes = []int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+	}
+	ops := opts.Ops
+	if len(ops) == 0 {
+		ops = tune.DefaultOps()
+	}
+	pick := func(t *coll.Tuning, op coll.OpKind, sel int) (coll.Algo, int) {
+		a := t.Select(op, np, sel, false)
+		if coll.Segmented(a) {
+			return a, t.SegFor(op, sel)
+		}
+		return a, 0
+	}
+	label := func(a coll.Algo, seg int) string {
+		if seg > 0 {
+			return fmt.Sprintf("%s(seg=%d)", a, seg)
+		}
+		return a.String()
+	}
+	fmt.Fprintf(w, "selection diff %s vs %s (np=%d, selector-space bytes)\n",
+		ta.Stack, tb.Stack, np)
+	fmt.Fprintf(w, "%-14s %-10s %-28s %-28s\n", "op", "size", ta.Stack, tb.Stack)
+	n := 0
+	for _, op := range ops {
+		for _, bytes := range sizes {
+			sel := tune.SelectorBytes(op, np, bytes)
+			aA, sA := pick(tunA, op, sel)
+			aB, sB := pick(tunB, op, sel)
+			if aA == aB && sA == sB {
+				continue
+			}
+			n++
+			fmt.Fprintf(w, "%-14s %-10s %-28s %-28s\n",
+				op, bench.SizeLabel(float64(sel)), label(aA, sA), label(aB, sB))
+		}
+	}
+	return n
+}
+
+func runSweeps(stacks []cluster.Stack, opts tune.Options, stackFlag, out string, check bool) {
 	for _, s := range stacks {
 		res, err := tune.Sweep(s, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if *check {
+		if check {
 			if viols := tune.Check(res); len(viols) > 0 {
 				for _, v := range viols {
 					log.Printf("%s: VIOLATION %s", s.Name, v)
@@ -130,21 +236,21 @@ func main() {
 			log.Fatal(err)
 		}
 		switch {
-		case *stackFlag == "all":
-			path := filepath.Join(*out, s.Name+".json")
+		case stackFlag == "all":
+			path := filepath.Join(out, s.Name+".json")
 			if err := os.WriteFile(path, data, 0o644); err != nil {
 				log.Fatal(err)
 			}
 			log.Printf("%s: wrote %s (%d points, %d ops)",
 				s.Name, path, len(res.Points), len(res.Table.Ops))
-		case *out == "-":
+		case out == "-":
 			fmt.Print(string(data))
 		default:
-			if err := os.WriteFile(*out, data, 0o644); err != nil {
+			if err := os.WriteFile(out, data, 0o644); err != nil {
 				log.Fatal(err)
 			}
 			log.Printf("%s: wrote %s (%d points, %d ops)",
-				s.Name, *out, len(res.Points), len(res.Table.Ops))
+				s.Name, out, len(res.Points), len(res.Table.Ops))
 		}
 	}
 }

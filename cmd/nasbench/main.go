@@ -5,6 +5,11 @@
 // alltoallv compiles through the schedule engine (drop it from -kernels for
 // the strict Fig. 8 set). Smaller classes (-class A/B/S) run much faster
 // and keep the same relative shapes.
+//
+// -tuned runs every kernel twice — default selection vs the embedded
+// per-stack calibration (tune.TableFor) — and reports the end-to-end delta,
+// quantifying what the calibrated tables buy whole kernels rather than
+// microbenchmarks.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"strings"
 
 	"repro/bench"
+	"repro/internal/coll/tune"
 	"repro/internal/nas"
 )
 
@@ -22,6 +28,8 @@ func main() {
 	classFlag := flag.String("class", "C", "problem class: S, A, B or C")
 	npFlag := flag.String("np", "8,16,32,64", "comma-separated process counts")
 	kernFlag := flag.String("kernels", "BT,CG,EP,FT,SP,MG,LU,IS", "kernels to run")
+	tuned := flag.Bool("tuned", false,
+		"also run with the embedded calibrated tuning tables installed and report the delta")
 	flag.Parse()
 
 	class := nas.Class((*classFlag)[0])
@@ -38,12 +46,21 @@ func main() {
 		if _, err := fmt.Sscanf(strings.TrimSpace(npStr), "%d", &np); err != nil {
 			log.Fatalf("bad np %q", npStr)
 		}
-		res, err := bench.RunNAS(class, np, kernels, bench.NASStacks())
+		res, err := bench.RunNAS(class, np, kernels, bench.NASStacks(), nil)
 		if err != nil {
 			log.Fatal(err)
 		}
 		bench.WriteNASTable(os.Stdout,
 			fmt.Sprintf("fig8 — NAS class %c, %d processes", class, np), res)
 		fmt.Println()
+		if *tuned {
+			tres, err := bench.RunNAS(class, np, kernels, bench.NASStacks(), tune.TableFor)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bench.WriteNASDeltaTable(os.Stdout,
+				fmt.Sprintf("calibrated tables — NAS class %c, %d processes", class, np), res, tres)
+			fmt.Println()
+		}
 	}
 }

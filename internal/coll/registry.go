@@ -56,6 +56,13 @@ const (
 	AlgoLinear
 	AlgoTwoLevel
 	AlgoRecHalving
+	// The segmented (pipelined) algorithms split the payload into pipeline
+	// segments so consecutive segments overlap across ranks — the
+	// large-message workhorses the schedule engine's per-segment rounds
+	// exist for (see segmented.go).
+	AlgoChain
+	AlgoSegBinomial
+	AlgoSegRing
 	numAlgos
 )
 
@@ -63,6 +70,17 @@ var algoNames = [numAlgos]string{
 	"auto", "dissemination", "binomial", "scatter-allgather",
 	"recursive-doubling", "rabenseifner", "ring", "bruck",
 	"pairwise", "linear", "two-level", "recursive-halving",
+	"chain", "segmented-binomial", "segmented-ring",
+}
+
+// Segmented reports whether algo pipelines its payload in segments — the
+// algorithms whose schedules depend on a segment size (Key.Seg).
+func Segmented(a Algo) bool {
+	switch a {
+	case AlgoChain, AlgoSegBinomial, AlgoSegRing:
+		return true
+	}
+	return false
 }
 
 func (a Algo) String() string {
@@ -113,6 +131,15 @@ type Args struct {
 	// displacements instead. (Overlapping *receive* blocks are rejected at
 	// the mpi entry points: they would corrupt data, not just the cache.)
 	SDispls []int
+
+	// Seg is the pipeline segment size in bytes for the segmented builders
+	// (0 selects DefSegBytes). It is schedule *shape* — two invocations with
+	// different segment sizes compile structurally different round programs
+	// — so KeyFor resolves it (Tuning.SegBytes > table entry seg > default)
+	// into Key.Seg and the mpi layer copies the resolved value back before
+	// building; non-segmented algorithms always run with Seg 0 so their
+	// cache keys never fragment.
+	Seg int
 }
 
 // Builder compiles one rank's schedule for one (op, algorithm) pair.
@@ -139,6 +166,12 @@ func init() {
 	Register(OpBcast, AlgoTwoLevel, func(a Args) *Schedule {
 		return BuildBcastTwoLevel(a.Rank, a.Nodes, a.Root, a.Data)
 	})
+	Register(OpBcast, AlgoChain, func(a Args) *Schedule {
+		return BuildBcastChain(a.Rank, a.Size, a.Root, a.Data, a.Seg)
+	})
+	Register(OpBcast, AlgoSegBinomial, func(a Args) *Schedule {
+		return BuildBcastSegBinomial(a.Rank, a.Size, a.Root, a.Data, a.Seg)
+	})
 	Register(OpReduce, AlgoBinomial, func(a Args) *Schedule {
 		return BuildReduce(a.Rank, a.Size, a.Root, a.X, a.Op)
 	})
@@ -150,6 +183,9 @@ func init() {
 	})
 	Register(OpAllreduce, AlgoTwoLevel, func(a Args) *Schedule {
 		return BuildAllreduceTwoLevel(a.Rank, a.Nodes, a.X, a.Op)
+	})
+	Register(OpAllreduce, AlgoSegRing, func(a Args) *Schedule {
+		return BuildAllreduceSegRing(a.Rank, a.Size, a.X, a.Op, a.Seg)
 	})
 	Register(OpAllgather, AlgoRing, func(a Args) *Schedule {
 		return BuildAllgather(a.Rank, a.Size, a.Mine, a.Out)
@@ -207,37 +243,67 @@ func init() {
 
 // Tuning parameterizes algorithm selection. The zero value (and a nil
 // pointer) selects the built-in MPICH-flavoured defaults. Overrides apply
-// in precedence order:
+// in ONE precedence order, enforced by Select and asserted by test
+// (TestTableBeatsLongOverride):
 //
-//   - Force pins an operation to one algorithm unconditionally;
-//   - Table supplies calibrated per-operation size thresholds (loaded via
-//     LoadTable from a colltune-emitted JSON file, or taken from the
-//     embedded per-stack calibrations in internal/coll/tune) and replaces
-//     the built-in size switch for the operations it covers;
-//   - the *Long fields override individual default byte thresholds when
-//     > 0 — the pre-table tuning knobs, still honoured for operations the
-//     table does not cover.
+//		Force > topology (two-level) > Table > *Long overrides > defaults
 //
-// Stack names the MPI stack selection runs under (cluster.Stack.Name);
-// mpi.Run fills it in automatically so the stack identity flows into every
-// coll.Key. Tables and forced algorithms are validated by Validate —
-// mpi.Run rejects malformed tuning instead of silently falling back.
+//	  - Force pins an operation to one algorithm unconditionally;
+//	  - topology: when the caller requests two-level and op has a
+//	    hierarchical builder, that structural decision outranks any size
+//	    threshold (a table cannot express placement);
+//	  - Table supplies calibrated per-operation size thresholds (loaded via
+//	    LoadTable from a colltune-emitted JSON file, or taken from the
+//	    embedded per-stack calibrations in internal/coll/tune) and replaces
+//	    the built-in size switch for the operations it covers — including
+//	    the *Long knobs, which a covering table makes dead;
+//	  - the *Long fields override individual default byte thresholds when
+//	    > 0 — the pre-table tuning knobs, honoured only for operations the
+//	    table does not cover.
+//
+// SegBytes forces the pipeline segment size of the segmented algorithms
+// (chain / segmented-binomial / segmented-ring) in bytes; 0 defers to the
+// table entry's seg field and then DefSegBytes. Stack names the MPI stack
+// selection runs under (cluster.Stack.Name); mpi.Run fills it in
+// automatically so the stack identity flows into every coll.Key. Tables
+// and forced algorithms are validated by Validate — mpi.Run rejects
+// malformed tuning instead of silently falling back.
 type Tuning struct {
 	Force         map[OpKind]Algo
 	Table         *Table
 	Stack         string
+	SegBytes      int
 	BcastLong     int
 	AllreduceLong int
 	AllgatherLong int
 }
 
 // Default size thresholds (payload bytes) at which the selector switches
-// from the latency-optimal to the bandwidth-optimal algorithm.
+// from the latency-optimal to the bandwidth-optimal algorithm, and the
+// default pipeline segment size of the segmented algorithms.
 const (
 	DefBcastLong     = 12 << 10
 	DefAllreduceLong = 4 << 10
 	DefAllgatherLong = 32 << 10
+	DefSegBytes      = 8 << 10
 )
+
+// SegFor resolves the pipeline segment size a segmented algorithm runs
+// with for op at bytes of payload: SegBytes forces it, otherwise the
+// calibrated table entry matching this payload supplies it, otherwise
+// DefSegBytes — the same precedence ladder Select applies to the
+// algorithm itself.
+func (t *Tuning) SegFor(op OpKind, bytes int) int {
+	if t != nil && t.SegBytes > 0 {
+		return t.SegBytes
+	}
+	if t != nil && t.Table != nil {
+		if e, ok := t.Table.LookupEntry(op, bytes); ok && e.Seg > 0 {
+			return e.Seg
+		}
+	}
+	return DefSegBytes
+}
 
 func (t *Tuning) bcastLong() int {
 	if t != nil && t.BcastLong > 0 {
@@ -261,10 +327,13 @@ func (t *Tuning) allgatherLong() int {
 }
 
 // Select picks the algorithm for op on size ranks moving bytes of payload;
-// twoLevel requests the hierarchical variant where one exists. Force wins
-// over everything; topology (twoLevel) wins over size thresholds; a
-// calibrated Table, when present and covering op, replaces the built-in
-// size switch; the defaults are documented in internal/coll/README.md.
+// twoLevel requests the hierarchical variant where one exists. The
+// precedence order is exactly the one Tuning documents — Force > topology
+// (two-level) > Table > *Long overrides > defaults. A table covering op
+// therefore makes the corresponding *Long knob dead: the size switch the
+// *Long fields parameterize is only reached when the table has no entry
+// for op (or no table is installed). The defaults are documented in
+// internal/coll/README.md.
 func (t *Tuning) Select(op OpKind, size, bytes int, twoLevel bool) Algo {
 	if t != nil && t.Force != nil {
 		if a, ok := t.Force[op]; ok && a != AlgoAuto {
@@ -382,7 +451,13 @@ type Key struct {
 	Algo  Algo
 	Root  int
 	Stack string
-	Sig   string
+	// Seg is the resolved pipeline segment size for segmented algorithms
+	// (0 otherwise). It is part of the key because segment size is shape:
+	// the same buffers pipelined at a different granularity compile a
+	// different round program, so two seg values must never share a cached
+	// schedule.
+	Seg int
+	Sig string
 }
 
 // KeyFor selects the algorithm and builds the canonical key for one
@@ -396,7 +471,8 @@ func KeyFor(t *Tuning, op OpKind, a Args, twoLevel bool) Key {
 	if twoLevel && op == OpAlltoall && !uniformBlocks(a.Send) {
 		twoLevel = false
 	}
-	algo := t.Select(op, a.Size, payloadBytes(op, a), twoLevel)
+	bytes := payloadBytes(op, a)
+	algo := t.Select(op, a.Size, bytes, twoLevel)
 	if algo == AlgoTwoLevel && a.Nodes == nil {
 		// No node map, so the two-level builders cannot run — even when the
 		// tuning *forces* two-level: strip Force for the re-selection or it
@@ -406,9 +482,12 @@ func KeyFor(t *Tuning, op OpKind, a Args, twoLevel bool) Key {
 			noForce = *t
 			noForce.Force = nil
 		}
-		algo = noForce.Select(op, a.Size, payloadBytes(op, a), false)
+		algo = noForce.Select(op, a.Size, bytes, false)
 	}
 	k := Key{Op: op, Algo: algo, Root: rootOf(op, a), Sig: sigOf(op, a)}
+	if Segmented(algo) {
+		k.Seg = t.SegFor(op, bytes)
+	}
 	if t != nil {
 		k.Stack = t.Stack
 	}

@@ -25,10 +25,13 @@ import (
 
 // TableEntry is one threshold step: Algo applies to payloads of up to
 // MaxBytes bytes (inclusive). A negative MaxBytes means unbounded and must
-// terminate the list.
+// terminate the list. For segmented algorithms Seg records the calibrated
+// pipeline segment size in bytes (0 = DefSegBytes); validation rejects a
+// seg on a non-segmented algorithm as dead config.
 type TableEntry struct {
 	MaxBytes int  `json:"max_bytes"`
 	Algo     Algo `json:"algo"`
+	Seg      int  `json:"seg,omitempty"`
 }
 
 // Table holds calibrated per-operation selection thresholds for one stack.
@@ -135,6 +138,14 @@ func (t *Table) Validate() error {
 				return fmt.Errorf("coll: table for stack %q: op %s entry %d: no %s builder registered",
 					t.Stack, op, i, e.Algo)
 			}
+			if e.Seg < 0 {
+				return fmt.Errorf("coll: table for stack %q: op %s entry %d: negative seg %d",
+					t.Stack, op, i, e.Seg)
+			}
+			if e.Seg > 0 && !Segmented(e.Algo) {
+				return fmt.Errorf("coll: table for stack %q: op %s entry %d: seg %d on non-segmented algorithm %s (dead config)",
+					t.Stack, op, i, e.Seg, e.Algo)
+			}
 			if e.MaxBytes < 0 {
 				if i != len(entries)-1 {
 					return fmt.Errorf("coll: table for stack %q: op %s entry %d: unbounded entry must be last",
@@ -159,21 +170,29 @@ func (t *Table) Validate() error {
 // Lookup returns the table's algorithm for op at bytes of payload, or
 // (AlgoAuto, false) when the table has no entry for op.
 func (t *Table) Lookup(op OpKind, bytes int) (Algo, bool) {
+	e, ok := t.LookupEntry(op, bytes)
+	return e.Algo, ok
+}
+
+// LookupEntry returns the full table entry matching op at bytes of payload
+// — algorithm plus its calibrated segment size — or (zero, false) when the
+// table has no entry for op.
+func (t *Table) LookupEntry(op OpKind, bytes int) (TableEntry, bool) {
 	if t == nil {
-		return AlgoAuto, false
+		return TableEntry{}, false
 	}
 	entries, ok := t.Ops[op.String()]
 	if !ok {
-		return AlgoAuto, false
+		return TableEntry{}, false
 	}
 	for _, e := range entries {
 		if e.MaxBytes < 0 || bytes <= e.MaxBytes {
-			return e.Algo, true
+			return e, true
 		}
 	}
 	// Validate guarantees an unbounded final entry; an unvalidated table
 	// without one falls through to the defaults rather than panicking.
-	return AlgoAuto, false
+	return TableEntry{}, false
 }
 
 // OpNames returns the table's operation names in sorted order — the
@@ -235,6 +254,9 @@ func (t *Tuning) LoadTable(data []byte) error {
 func (t *Tuning) Validate() error {
 	if t == nil {
 		return nil
+	}
+	if t.SegBytes < 0 {
+		return fmt.Errorf("coll: tuning forces negative segment size %d", t.SegBytes)
 	}
 	for op, a := range t.Force {
 		if op >= numOps {

@@ -87,6 +87,7 @@ func (c *Comm) sched(op coll.OpKind, a coll.Args) (*coll.Schedule, func()) {
 		a.Nodes = c.nodes
 	}
 	key := coll.KeyFor(&c.cfg.Coll, op, a, a.Nodes != nil)
+	a.Seg = key.Seg // resolved pipeline segment size (0 for non-segmented algos)
 	return c.acquireSched(key, a)
 }
 
@@ -115,6 +116,7 @@ func (c *Comm) schedViews(op coll.OpKind, a coll.Args) (*coll.Schedule, func()) 
 			a.Nodes = c.nodes
 		}
 		key := coll.KeyFor(&c.cfg.Coll, op, a, a.Nodes != nil)
+		a.Seg = key.Seg
 		c.countCompile()
 		return coll.Build(key, a), func() {}
 	}

@@ -32,7 +32,12 @@
 // lives in internal/coll/README.md, tunable via Config.Coll). Selection is
 // data-driven when a calibrated tuning table is installed (see
 // Config.Coll): per-stack crossover thresholds measured by cmd/colltune
-// replace the hard-coded MPICH-flavoured defaults.
+// replace the hard-coded MPICH-flavoured defaults. Large messages can run
+// *segmented*: the pipelined chain and segmented-binomial broadcasts and
+// the segmented ring allreduce split the payload into pipeline segments
+// whose per-segment rounds overlap across ranks; the calibrated tables
+// pick them (with a per-entry segment size) where they win, and
+// Config.Coll.SegBytes forces the granularity.
 //
 // Schedules are persistent: each communicator caches compiled schedules by
 // shape (operation, algorithm, root, counts), so a collective repeated in a
