@@ -7,6 +7,7 @@ import (
 	"repro/cluster"
 	"repro/internal/coll"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/mpi"
 )
 
@@ -43,6 +44,8 @@ type CollBenchOptions struct {
 	TwoLevel bool
 	// NoCache disables the per-communicator schedule cache.
 	NoCache bool
+	// Trace, when set, records the run's event trace.
+	Trace *trace.Trace
 }
 
 func (o CollBenchOptions) withDefaults() CollBenchOptions {
@@ -70,6 +73,9 @@ type CollBenchResult struct {
 	HostMS float64
 	// Compiles and Hits are rank 0's schedule-cache counters.
 	Compiles, Hits int64
+	// Counters is the run's registry snapshot (cache effectiveness across
+	// all ranks, poll split, rail traffic).
+	Counters *mpi.CounterSnapshot
 }
 
 // OpKindOf maps the benchmark op name to the registry's kind.
@@ -174,6 +180,7 @@ func CollBenchOnce(stack cluster.Stack, o CollBenchOptions) (CollBenchResult, er
 		Placement:    topo.Block(o.NP, cluster.Xeon2().NumNodes),
 		TwoLevelColl: o.TwoLevel,
 		NoSchedCache: o.NoCache,
+		Trace:        o.Trace,
 	}
 	if o.Algo != coll.AlgoAuto {
 		cfg.Coll.Force = map[coll.OpKind]coll.Algo{kind: o.Algo}
@@ -183,7 +190,7 @@ func CollBenchOnce(stack cluster.Stack, o CollBenchOptions) (CollBenchResult, er
 
 	var res CollBenchResult
 	start := time.Now()
-	_, err = mpi.Run(cfg, func(c *mpi.Comm) {
+	rep, err := mpi.Run(cfg, func(c *mpi.Comm) {
 		np := c.Size()
 		body := func() {}
 		switch kind {
@@ -233,6 +240,7 @@ func CollBenchOnce(stack cluster.Stack, o CollBenchOptions) (CollBenchResult, er
 	if err != nil {
 		return res, err
 	}
+	res.Counters = rep.Counters()
 	return res, nil
 }
 

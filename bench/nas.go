@@ -8,17 +8,20 @@ import (
 	"repro/cluster"
 	"repro/internal/coll"
 	"repro/internal/nas"
+	"repro/internal/trace"
 	"repro/mpi"
 )
 
 // NASResult is one (kernel, stack, np) execution.
 type NASResult struct {
-	Kernel   string
-	Stack    string
-	NP       int // actual process count (9/36 for BT/SP at 8/32)
-	Class    nas.Class
-	Seconds  float64
-	Verified bool
+	Kernel   string    `json:"kernel"`
+	Stack    string    `json:"stack"`
+	NP       int       `json:"np"` // actual process count (9/36 for BT/SP at 8/32)
+	Class    nas.Class `json:"class"`
+	Seconds  float64   `json:"seconds"`
+	Verified bool      `json:"verified"`
+	// Counters is the run's registry snapshot.
+	Counters *mpi.CounterSnapshot `json:"counters,omitempty"`
 }
 
 // NASStacks returns the four implementations compared in Fig. 8.
@@ -43,11 +46,17 @@ func RunNASKernel(k nas.Kernel, stack cluster.Stack, np int, class nas.Class) (N
 // Config.Coll wiring applications use, so a mismatched calibration stack
 // fails the run instead of silently mis-selecting.
 func RunNASKernelTuned(k nas.Kernel, stack cluster.Stack, np int, class nas.Class, table *coll.Table) (NASResult, error) {
+	return RunNASKernelTraced(k, stack, np, class, table, nil)
+}
+
+// RunNASKernelTraced is RunNASKernelTuned with an optional event trace
+// attached to the run (nil records nothing).
+func RunNASKernelTraced(k nas.Kernel, stack cluster.Stack, np int, class nas.Class, table *coll.Table, tr *trace.Trace) (NASResult, error) {
 	actual := k.AdjustNP(np)
 	var res nas.Result
-	cfg := mpi.Config{Cluster: cluster.Grid5000(), Stack: stack, NP: actual}
+	cfg := mpi.Config{Cluster: cluster.Grid5000(), Stack: stack, NP: actual, Trace: tr}
 	cfg.Coll.Table = table
-	_, err := mpi.Run(cfg, func(c *mpi.Comm) {
+	rep, err := mpi.Run(cfg, func(c *mpi.Comm) {
 		r := k.Run(c, class)
 		if c.Rank() == 0 {
 			res = r
@@ -59,6 +68,7 @@ func RunNASKernelTuned(k nas.Kernel, stack cluster.Stack, np int, class nas.Clas
 	return NASResult{
 		Kernel: k.Name, Stack: stack.Name, NP: actual, Class: class,
 		Seconds: res.Seconds, Verified: res.Verified,
+		Counters: rep.Counters(),
 	}, nil
 }
 

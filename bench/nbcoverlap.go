@@ -2,9 +2,11 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/cluster"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/mpi"
 )
 
@@ -29,6 +31,10 @@ type NbcOverlapOptions struct {
 	Iters int
 	// NP is the number of ranks (default 2, one per node).
 	NP int
+	// Trace, when set, records the run: each measured phase brackets its
+	// iterations with "overlap:<phase>:start/:end" mark instants, which
+	// OverlapFromTrace re-derives the overlap ratio from.
+	Trace *trace.Trace
 }
 
 func (o NbcOverlapOptions) withDefaults() NbcOverlapOptions {
@@ -89,6 +95,7 @@ func NbcOverlapOnce(stack cluster.Stack, o NbcOverlapOptions) (NbcOverlapResult,
 		NP:      o.NP,
 		// One rank per node first, so the collective crosses the rails.
 		Placement: topo.RoundRobin(o.NP, cluster.Xeon2().NumNodes),
+		Trace:     o.Trace,
 	}
 	res := NbcOverlapResult{Compute: o.ComputeUS * 1e-6}
 	if _, err := overlapBodies(nil, o); err != nil {
@@ -97,13 +104,15 @@ func NbcOverlapOnce(stack cluster.Stack, o NbcOverlapOptions) (NbcOverlapResult,
 	var comm, blk, nbc float64
 	_, err := mpi.Run(cfg, func(c *mpi.Comm) {
 		body, _ := overlapBodies(c, o)
-		measure := func(f func()) float64 {
+		measure := func(phase string, f func()) float64 {
 			var total float64
 			for i := 0; i < o.Iters; i++ {
 				c.Barrier()
+				c.Mark("overlap:" + phase + ":start")
 				t0 := c.Wtime()
 				f()
 				total += c.Wtime() - t0
+				c.Mark("overlap:" + phase + ":end")
 			}
 			return total / float64(o.Iters)
 		}
@@ -111,12 +120,12 @@ func NbcOverlapOnce(stack cluster.Stack, o NbcOverlapOptions) (NbcOverlapResult,
 		// and the schedule compiles into the cache.
 		body.run()
 
-		co := measure(body.run)
-		bl := measure(func() {
+		co := measure("comm", body.run)
+		bl := measure("blocking", func() {
 			body.run()
 			c.Compute(o.ComputeUS * 1e-6)
 		})
-		nb := measure(func() {
+		nb := measure("nonblocking", func() {
 			q := body.start()
 			c.Compute(o.ComputeUS * 1e-6)
 			c.Wait(q)
@@ -198,4 +207,57 @@ func NbcOverlapSweep(stack cluster.Stack, elemSizes []int, o NbcOverlapOptions) 
 		s.Add(float64(8*elems), r.OverlapRatio())
 	}
 	return s, nil
+}
+
+// OverlapFromTrace re-derives an NbcOverlapResult from a traced
+// NbcOverlapOnce run: rank 0's "overlap:<phase>:start/:end" mark instants
+// bracket exactly the window the benchmark timed with Wtime, so the two
+// computations must agree — the trace cross-checks the benchmark (and vice
+// versa). It errors when a phase's markers are missing or unbalanced.
+func OverlapFromTrace(t *trace.Trace, o NbcOverlapOptions) (NbcOverlapResult, error) {
+	o = o.withDefaults()
+	res := NbcOverlapResult{Compute: o.ComputeUS * 1e-6}
+	phases := map[string]*struct {
+		open  bool
+		start float64
+		total float64
+		n     int
+	}{"comm": {}, "blocking": {}, "nonblocking": {}}
+	for _, ev := range t.Events() {
+		if ev.Rank != 0 || ev.Cat != "mark" || !strings.HasPrefix(ev.Name, "overlap:") {
+			continue
+		}
+		rest := strings.TrimPrefix(ev.Name, "overlap:")
+		i := strings.LastIndexByte(rest, ':')
+		if i < 0 {
+			continue
+		}
+		ph, edge := phases[rest[:i]], rest[i+1:]
+		if ph == nil {
+			continue
+		}
+		switch edge {
+		case "start":
+			if ph.open {
+				return res, fmt.Errorf("bench: trace mark %q nested", ev.Name)
+			}
+			ph.open, ph.start = true, ev.Ts.Seconds()
+		case "end":
+			if !ph.open {
+				return res, fmt.Errorf("bench: trace mark %q without start", ev.Name)
+			}
+			ph.open = false
+			ph.total += ev.Ts.Seconds() - ph.start
+			ph.n++
+		}
+	}
+	for name, ph := range phases {
+		if ph.open || ph.n == 0 {
+			return res, fmt.Errorf("bench: trace has no complete %q phase markers (traced run required)", name)
+		}
+	}
+	res.CommOnly = phases["comm"].total / float64(phases["comm"].n)
+	res.Blocking = phases["blocking"].total / float64(phases["blocking"].n)
+	res.Nonblocking = phases["nonblocking"].total / float64(phases["nonblocking"].n)
+	return res, nil
 }

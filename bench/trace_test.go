@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"repro/cluster"
+	"repro/internal/trace"
+)
+
+// TestOverlapFromTraceMatchesMeasured pins the acceptance criterion of the
+// tracing layer: the overlap ratio re-derived from the trace's phase
+// markers agrees with NbcOverlapOnce's own Wtime-based measurement to
+// within 1% — same run, two independent readings of the same virtual
+// clock.
+func TestOverlapFromTraceMatchesMeasured(t *testing.T) {
+	for _, pio := range []bool{false, true} {
+		o := NbcOverlapOptions{Elems: 4096, ComputeUS: 300, Iters: 3, Trace: trace.New()}
+		r, err := NbcOverlapOnce(cluster.MPICH2NmadIB().WithPIOMan(pio), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := OverlapFromTrace(o.Trace, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(r.OverlapRatio() - tr.OverlapRatio()); d > 0.01 {
+			t.Fatalf("pioman=%v: measured overlap %.4f vs trace-derived %.4f (|Δ|=%.4f > 0.01)",
+				pio, r.OverlapRatio(), tr.OverlapRatio(), d)
+		}
+		// The phase means themselves must agree, not just the ratio.
+		for _, pair := range [][3]interface{}{
+			{"comm", r.CommOnly, tr.CommOnly},
+			{"blocking", r.Blocking, tr.Blocking},
+			{"nonblocking", r.Nonblocking, tr.Nonblocking},
+		} {
+			m, d := pair[1].(float64), pair[2].(float64)
+			if math.Abs(m-d) > 1e-9 {
+				t.Fatalf("pioman=%v: %s phase measured %v vs trace %v", pio, pair[0], m, d)
+			}
+		}
+	}
+}
+
+// TestOverlapFromTraceRequiresMarkers: an untraced (or wrong-benchmark)
+// trace yields a clear error instead of zeroed results.
+func TestOverlapFromTraceRequiresMarkers(t *testing.T) {
+	o := NbcOverlapOptions{Elems: 512, ComputeUS: 100, Iters: 1}
+	if _, err := OverlapFromTrace(trace.New(), o); err == nil {
+		t.Fatal("empty trace produced a result")
+	}
+}
+
+// TestCollBenchCountersSnapshot: a traced collbench measurement carries the
+// registry snapshot, consistent with its per-comm compat counters.
+func TestCollBenchCountersSnapshot(t *testing.T) {
+	o := CollBenchOptions{Op: "allreduce", Bytes: 4096, Iters: 3, NP: 4, Trace: trace.New()}
+	r, err := CollBenchOnce(cluster.MPICH2NmadIB(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counters == nil {
+		t.Fatal("no counter snapshot on the result")
+	}
+	if r.Counters.SchedCompiles == 0 || r.Counters.SchedHits == 0 {
+		t.Fatalf("cache counters empty: %+v", r.Counters)
+	}
+	if r.Counters.CacheHitRate <= 0 || r.Counters.CacheHitRate >= 1 {
+		t.Fatalf("hit rate %v out of (0,1)", r.Counters.CacheHitRate)
+	}
+	if len(r.Counters.Rails) == 0 {
+		t.Fatal("no rail traffic in snapshot")
+	}
+}

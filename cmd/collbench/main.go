@@ -24,6 +24,8 @@ import (
 	"repro/cluster"
 	"repro/internal/coll"
 	"repro/internal/coll/tune"
+	"repro/internal/trace"
+	"repro/mpi"
 )
 
 // row is one measurement in the sweep, JSON-shaped for BENCH_*.json.
@@ -39,6 +41,9 @@ type row struct {
 	HostMS   float64 `json:"host_ms"`
 	Compiles int64   `json:"compiles"`
 	Hits     int64   `json:"hits"`
+	// Counters is the run-wide registry snapshot (cache effectiveness
+	// across all ranks, poll split, rail traffic).
+	Counters *mpi.CounterSnapshot `json:"counters,omitempty"`
 }
 
 // candidates derives the forced algorithms worth sweeping for one
@@ -88,6 +93,8 @@ func main() {
 	segFlag := flag.String("seg", "",
 		"comma-separated pipeline segment sizes in bytes, swept for the segmented algorithms (empty = the calibrated/default segment size)")
 	jsonOut := flag.Bool("json", false, "emit JSON rows instead of the table")
+	traceOut := flag.String("trace", "",
+		"write a Chrome trace of the first swept configuration (auto algorithm, cache on) to this file, plus a summary on stderr")
 	flag.Parse()
 
 	var sizes []int
@@ -134,7 +141,34 @@ func main() {
 		return row{Op: op, Algo: algo.String(), Skew: skew, Seg: seg, Bytes: bytes,
 			TwoLevel: algo == coll.AlgoTwoLevel, Cache: cache,
 			PerOpUS: r.PerOp * 1e6, HostMS: r.HostMS,
-			Compiles: r.Compiles, Hits: r.Hits}
+			Compiles: r.Compiles, Hits: r.Hits, Counters: r.Counters}
+	}
+
+	if *traceOut != "" {
+		op := ops[0]
+		skew := ""
+		if isVector(op) {
+			skew = vecSkews[0]
+		}
+		tr := trace.New()
+		o := bench.CollBenchOptions{
+			Op: op, Bytes: sizes[0], Iters: *iters, NP: *np, Skew: skew, Trace: tr,
+		}
+		if _, err := bench.CollBenchOnce(stack, o); err != nil {
+			log.Fatalf("traced %s/%dB: %v", op, sizes[0], err)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteChrome(f, tr); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (%s, %dB, auto, cache on)\n", *traceOut, op, sizes[0])
+		trace.Summarize(tr).WriteText(os.Stderr)
 	}
 
 	for _, op := range ops {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -22,6 +23,7 @@ import (
 	"repro/bench"
 	"repro/internal/coll/tune"
 	"repro/internal/nas"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -30,6 +32,10 @@ func main() {
 	kernFlag := flag.String("kernels", "BT,CG,EP,FT,SP,MG,LU,IS", "kernels to run")
 	tuned := flag.Bool("tuned", false,
 		"also run with the embedded calibrated tuning tables installed and report the delta")
+	jsonOut := flag.Bool("json", false,
+		"emit JSON rows (one per kernel × stack × np, counter snapshot included) instead of the tables")
+	traceOut := flag.String("trace", "",
+		"write a Chrome trace of one run (first kernel, PIOMan stack, first np) to this file, plus a summary on stderr")
 	flag.Parse()
 
 	class := nas.Class((*classFlag)[0])
@@ -41,26 +47,70 @@ func main() {
 		}
 		kernels = append(kernels, k)
 	}
+	var jsonRows []bench.NASResult
+	var nps []int
 	for _, npStr := range strings.Split(*npFlag, ",") {
 		var np int
 		if _, err := fmt.Sscanf(strings.TrimSpace(npStr), "%d", &np); err != nil {
 			log.Fatalf("bad np %q", npStr)
 		}
+		nps = append(nps, np)
+	}
+
+	for _, np := range nps {
 		res, err := bench.RunNAS(class, np, kernels, bench.NASStacks(), nil)
 		if err != nil {
 			log.Fatal(err)
 		}
-		bench.WriteNASTable(os.Stdout,
-			fmt.Sprintf("fig8 — NAS class %c, %d processes", class, np), res)
-		fmt.Println()
+		if *jsonOut {
+			jsonRows = append(jsonRows, res...)
+		} else {
+			bench.WriteNASTable(os.Stdout,
+				fmt.Sprintf("fig8 — NAS class %c, %d processes", class, np), res)
+			fmt.Println()
+		}
 		if *tuned {
 			tres, err := bench.RunNAS(class, np, kernels, bench.NASStacks(), tune.TableFor)
 			if err != nil {
 				log.Fatal(err)
 			}
-			bench.WriteNASDeltaTable(os.Stdout,
-				fmt.Sprintf("calibrated tables — NAS class %c, %d processes", class, np), res, tres)
-			fmt.Println()
+			if *jsonOut {
+				jsonRows = append(jsonRows, tres...)
+			} else {
+				bench.WriteNASDeltaTable(os.Stdout,
+					fmt.Sprintf("calibrated tables — NAS class %c, %d processes", class, np), res, tres)
+				fmt.Println()
+			}
 		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonRows); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *traceOut != "" {
+		tr := trace.New()
+		pioStack := bench.NASStacks()[3] // MPICH2-NMad with PIOMan
+		r, err := bench.RunNASKernelTraced(kernels[0], pioStack, nps[0], class, nil, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteChrome(f, tr); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (%s class %c np=%d, %s)\n",
+			*traceOut, r.Kernel, class, r.NP, r.Stack)
+		trace.Summarize(tr).WriteText(os.Stderr)
 	}
 }

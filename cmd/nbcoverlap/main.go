@@ -19,6 +19,7 @@ import (
 
 	"repro/bench"
 	"repro/cluster"
+	"repro/internal/trace"
 )
 
 // row is one measurement, JSON-shaped for BENCH_*.json.
@@ -39,6 +40,8 @@ func main() {
 	iters := flag.Int("iters", 5, "iterations per measurement")
 	np := flag.Int("np", 2, "number of ranks")
 	jsonOut := flag.Bool("json", false, "emit JSON rows instead of the table")
+	traceOut := flag.String("trace", "",
+		"write a Chrome trace (chrome://tracing / Perfetto) of one traced run (PIOMan on, 32KB) to this file, plus a summary and measured-vs-trace-derived cross-check on stderr")
 	flag.Parse()
 
 	elemSizes := []int{512, 4 << 10, 32 << 10, 128 << 10} // 4K .. 1MB payloads
@@ -101,5 +104,46 @@ func main() {
 	if !*jsonOut {
 		fmt.Printf("RESULT: PIOMan strictly improves the overlap ratio on %d of %d size regimes\n",
 			wins, len(elemSizes))
+	}
+
+	if *traceOut != "" {
+		writeTrace(*traceOut, base, o)
+	}
+}
+
+// writeTrace re-runs the PIOMan-on 32KB configuration with event tracing
+// attached, writes the Chrome trace, prints the summary, and cross-checks
+// the trace-derived overlap ratio against the benchmark's own measurement
+// (the two bracket the same virtual-time windows, so they must agree).
+func writeTrace(path string, base cluster.Stack, o bench.NbcOverlapOptions) {
+	tr := trace.New()
+	oo := o
+	oo.Elems = 4096 // 32 KB payload
+	oo.Trace = tr
+	r, err := bench.NbcOverlapOnce(base.WithPIOMan(true), oo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tres, err := bench.OverlapFromTrace(tr, oo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := trace.WriteChrome(f, tr); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "\ntrace: wrote %s\n", path)
+	trace.Summarize(tr).WriteText(os.Stderr)
+	fmt.Fprintf(os.Stderr, "overlap cross-check: measured %.2f%%, trace-derived %.2f%%\n",
+		100*r.OverlapRatio(), 100*tres.OverlapRatio())
+	if d := r.OverlapRatio() - tres.OverlapRatio(); d > 0.01 || d < -0.01 {
+		fmt.Fprintln(os.Stderr, "RESULT: trace-derived overlap diverges from the measured ratio")
+		os.Exit(1)
 	}
 }

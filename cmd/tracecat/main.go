@@ -1,0 +1,163 @@
+// Command tracecat validates and summarizes a Chrome trace-event JSON file
+// produced by the -trace flag of collbench, nbcoverlap or nasbench. It
+// checks the structural invariants the exporter guarantees — every event
+// carries ph/pid/ts, B/E spans nest per thread track, async b/e ids pair up
+// — and that the thread tracks named by -require (default the application
+// track; add pioman for a PIOMan-enabled run) carry events. It prints
+// per-category event counts and exits nonzero on any violation, so CI can
+// smoke-test tracing end to end.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+)
+
+// tev is the subset of a Chrome trace event tracecat inspects.
+type tev struct {
+	Ph   string          `json:"ph"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Ts   *float64        `json:"ts"`
+	Cat  string          `json:"cat"`
+	Name string          `json:"name"`
+	ID   *int64          `json:"id"`
+	Args json.RawMessage `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents []tev `json:"traceEvents"`
+}
+
+func main() {
+	require := flag.String("require", "app",
+		"comma-separated thread tracks that must carry events (e.g. app,pioman for a PIOMan-enabled run)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tracecat [-require tracks] FILE\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		log.Fatalf("%s: not valid trace JSON: %v", path, err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		log.Fatalf("%s: no trace events", path)
+	}
+
+	// threadNames[pid][tid] from the metadata events; spanDepth tracks B/E
+	// nesting per (pid, tid); asyncOpen tracks b/e pairing per id.
+	threadNames := map[int]map[int]string{}
+	spanDepth := map[[2]int]int{}
+	asyncOpen := map[int64]bool{}
+	catCount := map[string]int{}
+	tidEvents := map[string]int{} // thread-track name -> non-metadata events
+	events := 0
+
+	for i, ev := range tf.TraceEvents {
+		if ev.Ph == "" {
+			log.Fatalf("%s: event %d has no ph", path, i)
+		}
+		if ev.Ph == "M" {
+			if ev.Name == "thread_name" {
+				var args struct {
+					Name string `json:"name"`
+				}
+				if err := json.Unmarshal(ev.Args, &args); err != nil || args.Name == "" {
+					log.Fatalf("%s: event %d: bad thread_name metadata", path, i)
+				}
+				if threadNames[ev.Pid] == nil {
+					threadNames[ev.Pid] = map[int]string{}
+				}
+				threadNames[ev.Pid][ev.Tid] = args.Name
+			}
+			continue
+		}
+		events++
+		if ev.Ts == nil {
+			log.Fatalf("%s: event %d (%s %q) has no ts", path, i, ev.Ph, ev.Name)
+		}
+		if ev.Ph != "E" { // E events omit cat/name; they close the last B
+			catCount[ev.Cat]++
+		}
+		if tn := threadNames[ev.Pid][ev.Tid]; tn != "" {
+			tidEvents[tn]++
+		}
+		key := [2]int{ev.Pid, ev.Tid}
+		switch ev.Ph {
+		case "B":
+			spanDepth[key]++
+		case "E":
+			spanDepth[key]--
+			if spanDepth[key] < 0 {
+				log.Fatalf("%s: event %d: E without matching B on pid %d tid %d",
+					path, i, ev.Pid, ev.Tid)
+			}
+		case "b":
+			if ev.ID == nil {
+				log.Fatalf("%s: event %d: async begin without id", path, i)
+			}
+			asyncOpen[*ev.ID] = true
+		case "e":
+			if ev.ID == nil || !asyncOpen[*ev.ID] {
+				log.Fatalf("%s: event %d: async end without matching begin", path, i)
+			}
+			delete(asyncOpen, *ev.ID)
+		}
+	}
+
+	for key, d := range spanDepth {
+		if d != 0 {
+			log.Fatalf("%s: %d unclosed span(s) on pid %d tid %d", path, d, key[0], key[1])
+		}
+	}
+	if len(asyncOpen) > 0 {
+		log.Fatalf("%s: %d unclosed async op(s)", path, len(asyncOpen))
+	}
+	for _, track := range strings.Split(*require, ",") {
+		track = strings.TrimSpace(track)
+		if track != "" && tidEvents[track] == 0 {
+			log.Fatalf("%s: no events on the %q thread track — progress attribution is missing", path, track)
+		}
+	}
+
+	fmt.Printf("%s: %d events across %d processes\n", path, events, len(threadNames))
+	var cats []string
+	for c := range catCount {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		name := c
+		if name == "" {
+			name = "(none)"
+		}
+		fmt.Printf("  %-10s %d\n", name, catCount[c])
+	}
+	var tracks []string
+	for t := range tidEvents {
+		tracks = append(tracks, t)
+	}
+	sort.Strings(tracks)
+	fmt.Printf("  tracks:")
+	for _, t := range tracks {
+		fmt.Printf(" %s=%d", t, tidEvents[t])
+	}
+	fmt.Println()
+	fmt.Println("OK")
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/nemesis"
 	"repro/internal/pioman"
 	"repro/internal/shmq"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -20,6 +21,9 @@ type Config struct {
 	EagerShmMax int
 	// CTSCost is the host cost of emitting a CH3 clear-to-send.
 	CTSCost vtime.Duration
+	// Rec, when set, records protocol-phase trace events (eager vs
+	// rendezvous, RTS/CTS/data legs).
+	Rec *trace.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +96,7 @@ type Process struct {
 	e   *vtime.Engine
 	Mgr *pioman.Manager
 	cfg Config
+	rec *trace.Recorder
 
 	shm     *nemesis.Endpoint
 	vcs     []*VC
@@ -121,6 +126,7 @@ func NewProcess(e *vtime.Engine, rank, size int, mgr *pioman.Manager,
 	shm *nemesis.Endpoint, sameNode []bool, cfg Config) *Process {
 	p := &Process{
 		Rank: rank, Size: size, e: e, Mgr: mgr, cfg: cfg.withDefaults(),
+		rec:    cfg.Rec,
 		shm:    shm,
 		seqTo:  make([]uint32, size),
 		jobs:   make([][]*shmJob, size),
@@ -198,6 +204,8 @@ func (p *Process) isendShm(proc *vtime.Proc, r *Request) {
 	p.seqTo[dst]++
 	if len(r.data) <= p.cfg.EagerShmMax {
 		p.ShmEagerSends++
+		p.rec.Instant("proto", "shm-eager",
+			trace.Int64("dst", int64(dst)), trace.Int64("bytes", int64(len(r.data))))
 		p.pushJob(&shmJob{
 			req: r, dst: dst,
 			hdr: shmq.Header{Type: shmq.CellData, Tag: r.tag, Ctx: r.ctx,
@@ -206,6 +214,8 @@ func (p *Process) isendShm(proc *vtime.Proc, r *Request) {
 		})
 	} else {
 		p.ShmRdvSends++
+		p.rec.Instant("proto", "shm-rts",
+			trace.Int64("dst", int64(dst)), trace.Int64("bytes", int64(len(r.data))))
 		p.nextCookie++
 		cookie := p.nextCookie
 		r.cookie = cookie
@@ -562,6 +572,8 @@ func (p *Process) handleEagerFrag(hdr shmq.Header, payload []byte, org Origin) v
 	}
 
 	// Unexpected: buffer the whole message (the extra copy of §2.1.3).
+	p.rec.Instant("proto", "unexpected",
+		trace.Int64("src", int64(hdr.Src)), trace.Int64("bytes", int64(msgLen)))
 	u := &uqEntry{ctx: hdr.Ctx, src: hdr.Src, tag: hdr.Tag, msgLen: msgLen,
 		data: make([]byte, msgLen), org: org}
 	n := copy(u.data, payload)
@@ -578,6 +590,9 @@ func (p *Process) handleEagerFrag(hdr shmq.Header, payload []byte, org Origin) v
 }
 
 func (p *Process) handleRTS(hdr shmq.Header, org Origin) vtime.Duration {
+	p.rec.Instant("proto", "rts",
+		trace.Str("via", org.OriginName()),
+		trace.Int64("src", int64(hdr.Src)), trace.Int64("bytes", hdr.MsgLen))
 	if r := p.MatchPosted(hdr.Ctx, hdr.Src, hdr.Tag); r != nil {
 		return p.startRdvRecv(r, hdr.Src, hdr.Tag, int(hdr.MsgLen), hdr.ReqID, org)
 	}
@@ -607,6 +622,8 @@ func (p *Process) startRdvRecv(r *Request, src, tag int32, msgLen int, senderCoo
 }
 
 func (p *Process) handleCTS(hdr shmq.Header, org Origin) vtime.Duration {
+	p.rec.Instant("proto", "cts",
+		trace.Str("via", org.OriginName()), trace.Int64("granted", hdr.MsgLen))
 	r := p.rdvOut[hdr.ReqID]
 	if r == nil {
 		panic(fmt.Sprintf("ch3[%d]: CTS for unknown cookie %d", p.Rank, hdr.ReqID))
@@ -623,6 +640,8 @@ func (p *Process) handleCTS(hdr shmq.Header, org Origin) vtime.Duration {
 }
 
 func (p *Process) handleRdvData(hdr shmq.Header, payload []byte, org Origin) vtime.Duration {
+	p.rec.Instant("proto", "rdv-data",
+		trace.Str("via", org.OriginName()), trace.Int64("bytes", int64(len(payload))))
 	r := p.rdvIn[hdr.ReqID]
 	if r == nil {
 		panic(fmt.Sprintf("ch3[%d]: rdv data for unknown cookie %d", p.Rank, hdr.ReqID))

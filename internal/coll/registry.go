@@ -549,7 +549,9 @@ func Build(key Key, a Args) *Schedule {
 	if b == nil {
 		panic(fmt.Sprintf("coll: no %s builder registered for %s", key.Algo, key.Op))
 	}
-	return b(a)
+	s := b(a)
+	s.Key = key
+	return s
 }
 
 // ByteTunable reports whether op's selection is a payload-size tradeoff a

@@ -1,5 +1,7 @@
 package coll
 
+import "repro/internal/trace"
+
 // This file expresses the collective algorithm set as *schedules*: per-rank
 // programs of rounds, each round holding point-to-point transfers (send/recv
 // prims) followed by local data movement (copy/reduce/decode prims). The same
@@ -70,6 +72,11 @@ type Round struct {
 // Schedule is one rank's compiled collective.
 type Schedule struct {
 	Rounds []Round
+	// Key records what the schedule was compiled as (operation, algorithm,
+	// segment size …). Build stamps it; observability layers read it to name
+	// round and operation events. Zero for schedules built directly by a
+	// Build* function.
+	Key Key
 }
 
 // round appends and returns a fresh round.
@@ -106,7 +113,18 @@ func RunLocal(pr *Prim) {
 // A round holding exactly one send and one recv becomes a SendRecvT exchange
 // (deadlock-free); otherwise sends are issued before receives.
 func ExecBlocking(p PtPt, s *Schedule, tag int32) {
+	ExecBlockingRec(p, s, tag, nil)
+}
+
+// ExecBlockingRec is ExecBlocking with per-round trace slices recorded on
+// rec's rounds track (nil rec records nothing).
+func ExecBlockingRec(p PtPt, s *Schedule, tag int32, rec *trace.Recorder) {
+	name := ""
+	if rec.Enabled() {
+		name = s.Key.Op.String() + "/" + s.Key.Algo.String()
+	}
 	for ri := range s.Rounds {
+		start := rec.Now()
 		rd := &s.Rounds[ri]
 		var send, recv *Prim
 		multi := false
@@ -141,6 +159,8 @@ func ExecBlocking(p PtPt, s *Schedule, tag int32) {
 		for i := range rd.Local {
 			RunLocal(&rd.Local[i])
 		}
+		rec.Complete("round", name, trace.TidRounds, start,
+			trace.Int64("round", int64(ri)))
 	}
 }
 

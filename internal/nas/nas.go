@@ -32,6 +32,11 @@ const (
 	ClassC Class = 'C'
 )
 
+// MarshalJSON encodes a class as its letter ("S"), not its byte value.
+func (c Class) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + string(c) + `"`), nil
+}
+
 // classScale returns the effective-operation scale factor relative to C.
 func classScale(c Class) float64 {
 	switch c {

@@ -23,6 +23,7 @@ package nbc
 import (
 	"repro/internal/coll"
 	"repro/internal/pioman"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -44,19 +45,42 @@ type Transport interface {
 type Engine struct {
 	mgr *pioman.Manager
 	tr  Transport
+	rec *trace.Recorder
 
 	nextSeq int32
 
-	// Stats.
-	Started   int64 // ops started
-	Completed int64 // ops completed
-	BGRounds  int64 // rounds issued from a deferred progress task
+	// Stats, registered on a metrics registry via Instrument (standalone
+	// counters otherwise). Read through the accessor methods.
+	started   *trace.Counter // ops started
+	completed *trace.Counter // ops completed
+	bgRounds  *trace.Counter // rounds issued from a deferred progress task
 }
 
 // NewEngine binds a schedule engine to a progress manager and transport.
 func NewEngine(mgr *pioman.Manager, tr Transport) *Engine {
-	return &Engine{mgr: mgr, tr: tr}
+	e := &Engine{mgr: mgr, tr: tr}
+	e.Instrument(nil, nil)
+	return e
 }
+
+// Instrument attaches a trace recorder and re-homes the engine's statistics
+// on a metrics registry. Call before starting operations; either argument
+// may be nil (no events recorded / standalone counters).
+func (e *Engine) Instrument(rec *trace.Recorder, met *trace.Registry) {
+	e.rec = rec
+	e.started = met.Counter(trace.CtrNbcStarted)
+	e.completed = met.Counter(trace.CtrNbcCompleted)
+	e.bgRounds = met.Counter(trace.CtrNbcBGRounds)
+}
+
+// Started returns the number of operations started.
+func (e *Engine) Started() int64 { return e.started.Value() }
+
+// Completed returns the number of operations completed.
+func (e *Engine) Completed() int64 { return e.completed.Value() }
+
+// BGRounds returns the number of rounds issued from deferred progress tasks.
+func (e *Engine) BGRounds() int64 { return e.bgRounds.Value() }
 
 // Op is one in-flight nonblocking collective.
 type Op struct {
@@ -68,6 +92,12 @@ type Op struct {
 	round   int
 	pending int // outstanding transfers of the current round (+1 issue guard)
 	done    bool
+
+	// Trace state: the async-operation id spanning start→completion, the
+	// op/algo display name, and the current round's start time.
+	tid        int64
+	name       string
+	roundStart vtime.Time
 }
 
 // Start begins executing s and returns its handle. Round 0 is issued on the
@@ -84,7 +114,12 @@ func (e *Engine) Start(proc *vtime.Proc, s *coll.Schedule) *Op {
 func (e *Engine) StartDone(proc *vtime.Proc, s *coll.Schedule, onDone func()) *Op {
 	op := &Op{eng: e, sched: s, seq: e.nextSeq & 0x7fffffff, onDone: onDone}
 	e.nextSeq++
-	e.Started++
+	e.started.Inc()
+	if e.rec.Enabled() {
+		op.name = s.Key.Op.String() + "/" + s.Key.Algo.String()
+		op.tid = e.rec.AsyncBegin("nbc", op.name,
+			trace.Int64("rounds", int64(len(s.Rounds))))
+	}
 	op.issueRounds(proc)
 	return op
 }
@@ -107,6 +142,7 @@ func (op *Op) tag() int32 { return op.seq }
 // from the unexpected queue, or local-only rounds).
 func (op *Op) issueRounds(proc *vtime.Proc) {
 	for op.round < len(op.sched.Rounds) {
+		op.roundStart = op.eng.rec.Now()
 		rd := &op.sched.Rounds[op.round]
 		// The +1 guard keeps the round open while transfers are being
 		// issued: completion callbacks may fire synchronously inside
@@ -151,7 +187,7 @@ func (op *Op) transferDone() {
 	// PIOMan the background thread executes it (submission offload,
 	// §2.2.3); otherwise it runs inside the next MPI call's progress pass.
 	op.eng.mgr.PostTask(pioman.Task{RunP: func(p *vtime.Proc) {
-		op.eng.BGRounds++
+		op.eng.bgRounds.Inc()
 		op.issueRounds(p)
 	}})
 	op.eng.mgr.Notify()
@@ -163,6 +199,8 @@ func (op *Op) finishRound() {
 	for i := range rd.Local {
 		coll.RunLocal(&rd.Local[i])
 	}
+	op.eng.rec.Complete("round", op.name, trace.TidRounds, op.roundStart,
+		trace.Int64("round", int64(op.round)))
 	op.round++
 }
 
@@ -171,7 +209,10 @@ func (op *Op) complete() {
 		return
 	}
 	op.done = true
-	op.eng.Completed++
+	op.eng.completed.Inc()
+	if op.tid != 0 {
+		op.eng.rec.AsyncEnd("nbc", op.name, op.tid)
+	}
 	if op.onDone != nil {
 		op.onDone()
 	}

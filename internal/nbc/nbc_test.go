@@ -130,7 +130,7 @@ func runOps(t *testing.T, n int, pio bool, build func(rank int) *coll.Schedule) 
 			if r == 0 {
 				side.mgr.WaitUntil(p, func() bool {
 					for _, s := range net.sides {
-						if s.eng.Completed < 1 {
+						if s.eng.Completed() < 1 {
 							return false
 						}
 					}
@@ -205,10 +205,10 @@ func TestEngineRoundsDeferredToProgress(t *testing.T) {
 		return coll.BuildBarrier(rank, 8) // 3 rounds
 	})
 	for r, s := range net.sides {
-		if s.eng.Completed != 1 {
-			t.Fatalf("rank %d: Completed = %d", r, s.eng.Completed)
+		if s.eng.Completed() != 1 {
+			t.Fatalf("rank %d: Completed = %d", r, s.eng.Completed())
 		}
-		if s.eng.BGRounds == 0 {
+		if s.eng.BGRounds() == 0 {
 			t.Fatalf("rank %d: no rounds issued from progress context", r)
 		}
 	}
@@ -231,8 +231,8 @@ func TestEngineSynchronousRounds(t *testing.T) {
 		if !op.Done() {
 			t.Error("pre-matched single-round barrier should complete inline")
 		}
-		if side.eng.BGRounds != 0 {
-			t.Errorf("BGRounds = %d, want 0", side.eng.BGRounds)
+		if side.eng.BGRounds() != 0 {
+			t.Errorf("BGRounds = %d, want 0", side.eng.BGRounds())
 		}
 		for _, s := range net.sides {
 			s.mgr.Stop()

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/shmq"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -31,6 +32,8 @@ type Options struct {
 	// Visibility is the cache-coherence delay before an enqueued cell is
 	// seen by the peer's poll.
 	Visibility vtime.Duration
+	// Rec, when set, records cell-queue trace events.
+	Rec *trace.Recorder
 }
 
 // withDefaults fills zero fields.
@@ -138,6 +141,8 @@ func (ep *Endpoint) TrySendFragment(dst int, hdr shmq.Header, frag []byte) (vtim
 	cell.SetPayload(frag)
 	peer.pool.Recv.Enqueue(cell)
 	ep.CellsSent++
+	ep.opt.Rec.Instant("nemesis", "cell-send",
+		trace.Int64("dst", int64(dst)), trace.Int64("bytes", int64(len(frag))))
 	cost := ep.opt.EnqueueCost + ep.opt.DequeueCost + copyCost(len(frag), ep.opt.MemBW)
 	notifyPeer := peer
 	ep.e.After(ep.opt.Visibility, func() { notifyPeer.notify() })
@@ -172,6 +177,10 @@ func (ep *Endpoint) Poll() (int, vtime.Duration) {
 		cost += ep.opt.EnqueueCost
 		// Releasing a cell may unblock a stalled sender.
 		owner.notify()
+	}
+	if events > 0 {
+		ep.opt.Rec.Instant("nemesis", "cells-drained",
+			trace.Int64("cells", int64(events)))
 	}
 	return events, cost
 }

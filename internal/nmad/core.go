@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/simnet"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -31,6 +32,9 @@ type Options struct {
 	PostTask func(cost vtime.Duration, run func())
 	// Notify signals the progress engine that events are pending.
 	Notify func()
+	// Rec, when set, records library trace events (eager vs rendezvous
+	// submission, packet-wrapper activity, entry handling).
+	Rec *trace.Recorder
 }
 
 // withDefaults fills zero fields with the library defaults.
@@ -178,6 +182,13 @@ func (c *Core) Gate(rank int) *Gate { return c.gates[rank] }
 func (c *Core) ISend(g *Gate, tag uint64, data []byte) *Request {
 	r := &Request{kind: reqSend, core: c, gate: g, tag: tag, data: data, seq: g.nextSeq}
 	g.nextSeq++
+	if len(data) > c.opt.RdvThreshold {
+		c.opt.Rec.Instant("proto", "net-rdv",
+			trace.Int64("dst", int64(g.PeerRank)), trace.Int64("bytes", int64(len(data))))
+	} else {
+		c.opt.Rec.Instant("proto", "net-eager",
+			trace.Int64("dst", int64(g.PeerRank)), trace.Int64("bytes", int64(len(data))))
+	}
 	if len(data) > c.opt.RdvThreshold {
 		r.rdv = true
 		c.nextPackID++
@@ -422,6 +433,9 @@ func (c *Core) submit(g *Gate, pw *Packet, railIdx int, sends []*Request, cached
 		if len(pw.Entries) > 1 {
 			c.Aggregated += int64(len(pw.Entries))
 		}
+		c.opt.Rec.Instant("nmad", "pw-submit",
+			trace.Int64("dst", int64(pw.To)), trace.Int64("rail", int64(railIdx)),
+			trace.Int64("bytes", int64(size)), trace.Int64("entries", int64(len(pw.Entries))))
 		rail.Transfer(from, to, size, pw, peer.deliverPw)
 		// Eager sends complete at *local* completion: when the NIC has
 		// drained the packet onto the wire, not at submission. This is what
@@ -472,6 +486,9 @@ func (c *Core) Poll() (int, vtime.Duration) {
 		c.inbox = c.inbox[1:]
 		events++
 		c.PwsRecv++
+		c.opt.Rec.Instant("nmad", "pw-recv",
+			trace.Int64("src", int64(in.pw.From)),
+			trace.Int64("entries", int64(len(in.pw.Entries))))
 		cost += in.consume + c.opt.PwParseCost
 		for _, en := range in.pw.Entries {
 			cost += c.handleEntry(in.pw.From, en)
@@ -581,6 +598,9 @@ func (c *Core) submitRdvChunk(g *Gate, pw *Packet, railIdx int, cachedReg bool, 
 	c.opt.PostTask(cost, func() {
 		c.PwsSent++
 		c.EntriesSent++
+		c.opt.Rec.Instant("nmad", "pw-submit-rdv",
+			trace.Int64("dst", int64(pw.To)), trace.Int64("rail", int64(railIdx)),
+			trace.Int64("bytes", int64(size)))
 		rail.Transfer(from, to, size, pw, peer.deliverPw)
 		done := onSubmitted
 		c.e.At(rail.TxIdleAt(from), func() {

@@ -18,6 +18,7 @@ package pioman
 
 import (
 	"repro/internal/marcel"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -64,6 +65,12 @@ type Config struct {
 	// React is the scheduling delay before the background thread reacts to
 	// a notification.
 	React vtime.Duration
+	// Metrics, when set, registers the manager's statistics (poll and event
+	// counts, split by application vs background thread) under canonical
+	// names; nil keeps standalone counters.
+	Metrics *trace.Registry
+	// Rec, when set, records progress-pass trace events.
+	Rec *trace.Recorder
 }
 
 // Manager is the per-process progress authority.
@@ -86,12 +93,15 @@ type Manager struct {
 	stopped   bool
 	notified  bool
 
-	// Stats.
-	BgPolls   int64
-	BgEvents  int64
-	BgTasks   int64
-	AppPolls  int64
-	AppEvents int64
+	rec *trace.Recorder
+
+	// Stats, registered on the configured metrics registry (standalone
+	// counters otherwise). Read through the accessor methods.
+	bgPolls   *trace.Counter
+	bgEvents  *trace.Counter
+	bgTasks   *trace.Counter
+	appPolls  *trace.Counter
+	appEvents *trace.Counter
 }
 
 // New returns a manager for one process living on node.
@@ -102,13 +112,35 @@ func New(e *vtime.Engine, node *marcel.Node, name string, cfg Config) *Manager {
 		cfg:        cfg,
 		work:       vtime.NewCond(e, name+": pioman idle"),
 		Completion: vtime.NewCond(e, name+": waiting for completion"),
+		rec:        cfg.Rec,
+		bgPolls:    cfg.Metrics.Counter(trace.CtrBgPolls),
+		bgEvents:   cfg.Metrics.Counter(trace.CtrBgEvents),
+		bgTasks:    cfg.Metrics.Counter(trace.CtrBgTasks),
+		appPolls:   cfg.Metrics.Counter(trace.CtrAppPolls),
+		appEvents:  cfg.Metrics.Counter(trace.CtrAppEvents),
 	}
 	if cfg.Enabled {
 		m.bgRunning = true
-		e.Spawn(name+"/pioman", m.bgLoop)
+		bp := e.Spawn(name+"/pioman", m.bgLoop)
+		bp.SetLabel(trace.TidPioman)
 	}
 	return m
 }
+
+// BgPolls returns the number of background sweeps performed.
+func (m *Manager) BgPolls() int64 { return m.bgPolls.Value() }
+
+// BgEvents returns the number of events handled by background sweeps.
+func (m *Manager) BgEvents() int64 { return m.bgEvents.Value() }
+
+// BgTasks returns the number of deferred tasks run by the background thread.
+func (m *Manager) BgTasks() int64 { return m.bgTasks.Value() }
+
+// AppPolls returns the number of application-thread progress passes.
+func (m *Manager) AppPolls() int64 { return m.appPolls.Value() }
+
+// AppEvents returns the number of events handled on application threads.
+func (m *Manager) AppEvents() int64 { return m.appEvents.Value() }
 
 // Enabled reports whether the background regime is active.
 func (m *Manager) Enabled() bool { return m.cfg.Enabled }
@@ -160,7 +192,7 @@ func (m *Manager) runTasks(p *vtime.Proc, bg bool) int {
 		}
 		n++
 		if bg {
-			m.BgTasks++
+			m.bgTasks.Inc()
 		}
 	}
 	return n
@@ -200,6 +232,7 @@ func (m *Manager) pollOnce(p *vtime.Proc) int {
 // queue is empty. Returns the number of events handled.
 func (m *Manager) Progress(p *vtime.Proc) int {
 	total := 0
+	end := m.rec.Span("pioman", "progress")
 	for {
 		// Clear the notification flag before each sweep: arrivals landing
 		// *during* the sweep (polling sleeps to charge costs, and events
@@ -208,13 +241,14 @@ func (m *Manager) Progress(p *vtime.Proc) int {
 		m.notified = false
 		n := m.runTasks(p, false)
 		ev := m.pollOnce(p)
-		m.AppPolls++
-		m.AppEvents += int64(ev)
+		m.appPolls.Inc()
+		m.appEvents.Add(int64(ev))
 		total += n + ev
 		if len(m.tasks) == 0 && !m.notified {
 			break
 		}
 	}
+	end()
 	if total > 0 {
 		m.Completion.Broadcast()
 	}
@@ -258,6 +292,7 @@ func (m *Manager) bgLoop(p *vtime.Proc) {
 			p.Sleep(m.cfg.React)
 		}
 		m.node.Acquire(p)
+		end := m.rec.Span("pioman", "sweep")
 		n, ev := 0, 0
 		for {
 			m.notified = false
@@ -272,9 +307,10 @@ func (m *Manager) bgLoop(p *vtime.Proc) {
 				break
 			}
 		}
+		end()
 		m.node.Release()
-		m.BgPolls++
-		m.BgEvents += int64(ev)
+		m.bgPolls.Inc()
+		m.bgEvents.Add(int64(ev))
 		_ = n
 		// Broadcast even when the sweep found no source events: a
 		// notification may correspond to a request completed by an

@@ -69,7 +69,7 @@ func TestWaitUntilPollingMode(t *testing.T) {
 	if finished < 1000 {
 		t.Fatalf("wait finished at %d before event", finished)
 	}
-	if m.AppPolls == 0 {
+	if m.AppPolls() == 0 {
 		t.Fatal("polling mode should poll on the app thread")
 	}
 }
@@ -96,11 +96,11 @@ func TestWaitUntilPIOManMode(t *testing.T) {
 	if finished != 3200 {
 		t.Fatalf("finished at %d, want 3200", finished)
 	}
-	if m.AppPolls != 0 {
+	if m.AppPolls() != 0 {
 		t.Fatal("PIOMan mode must not poll on the app thread")
 	}
-	if m.BgEvents != 1 {
-		t.Fatalf("bg events = %d, want 1", m.BgEvents)
+	if m.BgEvents() != 1 {
+		t.Fatalf("bg events = %d, want 1", m.BgEvents())
 	}
 }
 
@@ -132,7 +132,7 @@ func TestShmVsNetSyncClasses(t *testing.T) {
 		m.Notify()
 	})
 	e.At(10_000, func() {
-		bgDone = vtime.Time(m.BgEvents)
+		bgDone = vtime.Time(m.BgEvents())
 		m.Stop()
 	})
 	if err := e.Run(); err != nil {
@@ -143,8 +143,8 @@ func TestShmVsNetSyncClasses(t *testing.T) {
 	}
 	// Check the charged time: the bg thread should have slept 50+450ns.
 	// (Indirectly verified: BgPolls == 1.)
-	if m.BgPolls != 1 {
-		t.Fatalf("bg polls = %d, want 1", m.BgPolls)
+	if m.BgPolls() != 1 {
+		t.Fatalf("bg polls = %d, want 1", m.BgPolls())
 	}
 }
 
@@ -186,8 +186,8 @@ func TestPostTaskOffloadedWithPIOMan(t *testing.T) {
 	if ranAt != 500 {
 		t.Fatalf("offloaded task ran at %d, want 500 (bg executes immediately)", ranAt)
 	}
-	if m.BgTasks != 1 {
-		t.Fatalf("bg tasks = %d, want 1", m.BgTasks)
+	if m.BgTasks() != 1 {
+		t.Fatalf("bg tasks = %d, want 1", m.BgTasks())
 	}
 }
 
@@ -239,7 +239,7 @@ func TestDisabledManagerHasNoBgThread(t *testing.T) {
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if m.BgPolls != 0 || m.Enabled() {
+	if m.BgPolls() != 0 || m.Enabled() {
 		t.Fatal("disabled manager ran a bg thread")
 	}
 }

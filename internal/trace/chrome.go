@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteChrome exports the trace in Chrome trace-event JSON (the format
+// chrome://tracing and Perfetto load): ranks become processes (pid = rank),
+// thread tracks become tids (app / pioman / engine / rounds), timestamps
+// are virtual microseconds. The writer is hand-rolled so the bytes are a
+// pure function of the event stream — no map iteration, no float
+// formatting surprises — which is what makes "two identical runs emit
+// byte-identical traces" a testable property.
+func WriteChrome(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[\n")
+	first := true
+	comma := func() {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+	}
+
+	// Metadata: name every rank's process and thread tracks up front so
+	// viewers label them before the first real event.
+	for rank := 0; rank < t.np; rank++ {
+		comma()
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":"rank%d"}}`, rank, rank)
+		for tid, tn := range tidNames {
+			comma()
+			fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"%s"}}`, rank, tid, tn)
+		}
+	}
+
+	for i := range t.events {
+		ev := &t.events[i]
+		comma()
+		writeEvent(bw, ev)
+	}
+	bw.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n")
+	return bw.Flush()
+}
+
+// writeEvent renders one event. Field order is fixed; ts is nanoseconds
+// rendered as microseconds with three decimals, exact for the int64 range
+// the simulations reach.
+func writeEvent(bw *bufio.Writer, ev *Event) {
+	bw.WriteString(`{"ph":"`)
+	bw.WriteByte(ev.Ph)
+	bw.WriteString(`","pid":`)
+	bw.WriteString(strconv.Itoa(ev.Rank))
+	bw.WriteString(`,"tid":`)
+	bw.WriteString(strconv.Itoa(ev.Tid))
+	bw.WriteString(`,"ts":`)
+	writeMicros(bw, int64(ev.Ts))
+	if ev.Ph == 'X' {
+		bw.WriteString(`,"dur":`)
+		writeMicros(bw, int64(ev.Dur))
+	}
+	if ev.Cat != "" {
+		bw.WriteString(`,"cat":"`)
+		writeEscaped(bw, ev.Cat)
+		bw.WriteByte('"')
+	}
+	if ev.Name != "" {
+		bw.WriteString(`,"name":"`)
+		writeEscaped(bw, ev.Name)
+		bw.WriteByte('"')
+	}
+	if ev.Ph == 'b' || ev.Ph == 'e' {
+		bw.WriteString(`,"id":`)
+		bw.WriteString(strconv.FormatInt(ev.ID, 10))
+	}
+	if ev.Ph == 'i' {
+		bw.WriteString(`,"s":"t"`) // thread-scoped instant
+	}
+	if len(ev.Args) > 0 {
+		bw.WriteString(`,"args":{`)
+		for i := range ev.Args {
+			a := &ev.Args[i]
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteByte('"')
+			writeEscaped(bw, a.Key)
+			bw.WriteString(`":`)
+			if a.IsStr {
+				bw.WriteByte('"')
+				writeEscaped(bw, a.Str)
+				bw.WriteByte('"')
+			} else {
+				bw.WriteString(strconv.FormatInt(a.Int, 10))
+			}
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte('}')
+}
+
+// writeMicros renders ns as fixed-point microseconds ("12.345"): decimal
+// integer arithmetic only, so the output is exact and deterministic.
+func writeMicros(bw *bufio.Writer, ns int64) {
+	if ns < 0 {
+		bw.WriteByte('-')
+		ns = -ns
+	}
+	bw.WriteString(strconv.FormatInt(ns/1000, 10))
+	frac := ns % 1000
+	bw.WriteByte('.')
+	bw.WriteByte(byte('0' + frac/100))
+	bw.WriteByte(byte('0' + (frac/10)%10))
+	bw.WriteByte(byte('0' + frac%10))
+}
+
+// writeEscaped writes s with the JSON string escapes the event fields can
+// need (names and categories are ASCII identifiers; quotes and backslashes
+// are escaped defensively).
+func writeEscaped(bw *bufio.Writer, s string) {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			bw.WriteByte('\\')
+			bw.WriteByte(c)
+		case c < 0x20:
+			fmt.Fprintf(bw, `\u%04x`, c)
+		default:
+			bw.WriteByte(c)
+		}
+	}
+}

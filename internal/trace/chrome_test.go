@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+var update = flag.Bool("update", false, "rewrite the chrome export golden file")
+
+// buildFixtureTrace records a small but representative event stream —
+// nested spans, instants with string and integer args, an async pair, a
+// completed slice, and an escaping-hostile name — under a real engine so
+// timestamps and tids come from the same machinery production uses.
+func buildFixtureTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr := New()
+	e := vtime.NewEngine()
+	if err := tr.Bind(e, 2); err != nil {
+		t.Fatal(err)
+	}
+	r0, r1 := tr.Recorder(0), tr.Recorder(1)
+
+	app := e.Spawn("app0", func(p *vtime.Proc) {
+		end := r0.Span("mpi", "AllreduceF64")
+		p.Sleep(1500)
+		inner := r0.Span("mpi", "Wait")
+		p.Sleep(499)
+		inner()
+		end()
+		id := r0.AsyncBegin("nbc", "allreduce/rdb", Int64("rounds", 2))
+		start := r0.Now()
+		p.Sleep(2001)
+		r0.Complete("round", "allreduce/rdb", TidRounds, start, Int64("round", 0))
+		r0.AsyncEnd("nbc", "allreduce/rdb", id)
+		r0.Instant("mark", `quote"back\slash`, Str("via", "ib"))
+	})
+	app.SetLabel(TidApp)
+
+	bg := e.Spawn("pioman1", func(p *vtime.Proc) {
+		sweep := r1.Span("pioman", "sweep")
+		p.Sleep(750)
+		r1.Instant("proto", "rts", Str("via", "nmad"), Int64("bytes", 65536))
+		sweep()
+	})
+	bg.SetLabel(TidPioman)
+
+	e.After(100, func() { r1.Instant("nemesis", "cells-drained", Int64("cells", 3)) })
+
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestChromeGolden pins the exporter's exact bytes: field order, fixed-point
+// microsecond timestamps, metadata naming, escaping. Regenerate with
+// go test ./internal/trace -run ChromeGolden -update after a deliberate
+// format change.
+func TestChromeGolden(t *testing.T) {
+	tr := buildFixtureTrace(t)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome export differs from %s:\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestChromeIsValidJSON: the hand-rolled writer must still produce JSON a
+// standard parser accepts, with the structure viewers expect.
+func TestChromeIsValidJSON(t *testing.T) {
+	tr := buildFixtureTrace(t)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+		Unit        string                   `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.Unit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", doc.Unit)
+	}
+	// 2 ranks × (1 process_name + 4 thread_name) metadata + the events.
+	if len(doc.TraceEvents) != 10+len(tr.Events()) {
+		t.Fatalf("%d JSON events for %d recorded (+10 metadata)",
+			len(doc.TraceEvents), len(tr.Events()))
+	}
+	for _, ev := range doc.TraceEvents {
+		if _, ok := ev["ph"]; !ok {
+			t.Fatalf("event missing ph: %v", ev)
+		}
+	}
+}
+
+// TestChromeDeterministicBytes: two identical fixture runs export
+// byte-identical traces — the exporter-level half of the determinism
+// guarantee (mpi.TestTraceDeterminism covers the full stack).
+func TestChromeDeterministicBytes(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteChrome(&a, buildFixtureTrace(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b, buildFixtureTrace(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical fixture runs exported different bytes")
+	}
+}
+
+// TestWriteMicros pins the fixed-point timestamp rendering.
+func TestWriteMicros(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want string
+	}{
+		{0, "0.000"}, {1, "0.001"}, {999, "0.999"}, {1000, "1.000"},
+		{1234567, "1234.567"}, {-1500, "-1.500"},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		bw := newTestWriter(&buf)
+		writeMicros(bw, c.ns)
+		bw.Flush()
+		if buf.String() != c.want {
+			t.Fatalf("writeMicros(%d) = %q, want %q", c.ns, buf.String(), c.want)
+		}
+	}
+}
+
+// newTestWriter adapts a buffer for the low-level writer helpers.
+func newTestWriter(buf *bytes.Buffer) *bufio.Writer { return bufio.NewWriter(buf) }

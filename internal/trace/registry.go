@@ -1,0 +1,156 @@
+package trace
+
+import "sort"
+
+// Counter is one named monotone statistic. Counters are live whether or
+// not event tracing is enabled — they replace the subsystems' ad-hoc int64
+// stat fields at identical cost (a plain add on the hot path).
+type Counter struct {
+	v int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Registry is a get-or-create namespace of counters, in the spirit of the
+// MPI_T performance-variable interface: subsystems register their
+// statistics under dotted names ("pioman.bg_polls", "coll.sched_hits") and
+// harnesses snapshot them without knowing each subsystem's struct layout.
+//
+// A nil *Registry is valid: Counter returns a fresh standalone counter, so
+// subsystems wired without a registry keep working statistics that simply
+// are not aggregated anywhere.
+type Registry struct {
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{counters: make(map[string]*Counter)} }
+
+// Counter returns the counter registered under name, creating it on first
+// use. On a nil registry it returns an unregistered standalone counter.
+func (g *Registry) Counter(name string) *Counter {
+	if g == nil {
+		return &Counter{}
+	}
+	if c, ok := g.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	g.counters[name] = c
+	return c
+}
+
+// NamedValue is one snapshot entry.
+type NamedValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Snapshot returns every counter sorted by name (deterministic output
+// order for summaries and golden tests).
+func (g *Registry) Snapshot() []NamedValue {
+	if g == nil {
+		return nil
+	}
+	out := make([]NamedValue, 0, len(g.counters))
+	for name, c := range g.counters {
+		out = append(out, NamedValue{Name: name, Value: c.v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Metrics bundles one run's registries: one per rank (per-process
+// statistics: poll splits, schedule-cache activity, collective engine
+// counts) plus one run-level registry (global statistics: per-rail
+// traffic).
+type Metrics struct {
+	Ranks []*Registry
+	Run   *Registry
+}
+
+// NewMetrics returns registries for an np-rank run.
+func NewMetrics(np int) *Metrics {
+	m := &Metrics{Ranks: make([]*Registry, np), Run: NewRegistry()}
+	for r := range m.Ranks {
+		m.Ranks[r] = NewRegistry()
+	}
+	return m
+}
+
+// Rank returns rank r's registry (nil-safe: a nil Metrics yields a nil
+// Registry, whose counters are standalone).
+func (m *Metrics) Rank(r int) *Registry {
+	if m == nil || r < 0 || r >= len(m.Ranks) {
+		return nil
+	}
+	return m.Ranks[r]
+}
+
+// Totals sums each counter name across the per-rank registries and merges
+// the run-level registry, sorted by name.
+func (m *Metrics) Totals() []NamedValue {
+	if m == nil {
+		return nil
+	}
+	sums := make(map[string]int64)
+	for _, g := range m.Ranks {
+		for name, c := range g.counters {
+			sums[name] += c.v
+		}
+	}
+	for name, c := range m.Run.counters {
+		sums[name] += c.v
+	}
+	out := make([]NamedValue, 0, len(sums))
+	for name, v := range sums {
+		out = append(out, NamedValue{Name: name, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Total returns the cross-rank (plus run-level) sum of one counter name.
+func (m *Metrics) Total(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	var t int64
+	for _, g := range m.Ranks {
+		if c, ok := g.counters[name]; ok {
+			t += c.v
+		}
+	}
+	if c, ok := m.Run.counters[name]; ok {
+		t += c.v
+	}
+	return t
+}
+
+// Canonical counter names. Subsystems and consumers share these constants
+// so a renamed statistic breaks at compile time, not in a dashboard.
+const (
+	CtrAppPolls  = "pioman.app_polls"
+	CtrAppEvents = "pioman.app_events"
+	CtrBgPolls   = "pioman.bg_polls"
+	CtrBgEvents  = "pioman.bg_events"
+	CtrBgTasks   = "pioman.bg_tasks"
+
+	CtrNbcStarted   = "nbc.ops_started"
+	CtrNbcCompleted = "nbc.ops_completed"
+	CtrNbcBGRounds  = "nbc.bg_rounds"
+
+	CtrSchedCompiles = "coll.sched_compiles"
+	CtrSchedHits     = "coll.sched_hits"
+)
+
+// RailPacketsCtr / RailBytesCtr name one rail's run-level traffic counters.
+func RailPacketsCtr(rail string) string { return "rail." + rail + ".packets" }
+func RailBytesCtr(rail string) string   { return "rail." + rail + ".bytes" }

@@ -106,6 +106,11 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// Current returns the proc presently executing simulation code, or nil when
+// the engine is running an event callback (timer, NIC completion) with no
+// proc scheduled. Observability layers use it to attribute work to threads.
+func (e *Engine) Current() *Proc { return e.cur }
+
 // At schedules fn to run in engine context at virtual time t. Scheduling in
 // the past is an error and panics: simulations must never rewind the clock.
 func (e *Engine) At(t Time, fn func()) {
@@ -219,12 +224,20 @@ func (e *Engine) Stop() { e.stopped = true }
 type Proc struct {
 	e      *Engine
 	name   string
+	label  int
 	resume chan struct{}
 	done   bool
 }
 
 // Name returns the name given at Spawn time.
 func (p *Proc) Name() string { return p.name }
+
+// SetLabel stamps an application-defined classification on the process
+// (e.g. a trace thread-track id). Zero until set.
+func (p *Proc) SetLabel(l int) { p.label = l }
+
+// Label returns the classification stamped by SetLabel.
+func (p *Proc) Label() int { return p.label }
 
 // Engine returns the engine driving this process.
 func (p *Proc) Engine() *Engine { return p.e }

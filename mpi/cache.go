@@ -1,6 +1,9 @@
 package mpi
 
-import "repro/internal/coll"
+import (
+	"repro/internal/coll"
+	"repro/internal/trace"
+)
 
 // The per-communicator schedule cache gives collectives persistent-schedule
 // semantics (libNBC's NBC_Handle reuse): the first invocation of a shape —
@@ -32,6 +35,16 @@ func (c *Comm) countCompile() {
 		c.cache = &schedCache{entries: make(map[coll.Key]*schedEntry)}
 	}
 	c.cache.compiles++
+	c.met.Counter(trace.CtrSchedCompiles).Inc()
+}
+
+// schedEvent annotates a cache decision on the trace: the op/algorithm pair
+// and whether the call compiled fresh or rebound a cached schedule.
+func (c *Comm) schedEvent(what string, key coll.Key) {
+	if c.rec.Enabled() {
+		c.rec.Instant("sched", what,
+			trace.Str("op", key.Op.String()), trace.Str("algo", key.Algo.String()))
+	}
 }
 
 // acquireSched returns a ready-to-run schedule for key bound to a's buffers,
@@ -45,11 +58,15 @@ func (c *Comm) acquireSched(key coll.Key, a coll.Args) (*coll.Schedule, func()) 
 	}
 	if c.cfg.NoSchedCache {
 		c.cache.compiles++
+		c.met.Counter(trace.CtrSchedCompiles).Inc()
+		c.schedEvent("compile", key)
 		return coll.Build(key, a), func() {}
 	}
 	if e, ok := c.cache.entries[key]; ok {
 		if e.inUse {
 			c.cache.compiles++
+			c.met.Counter(trace.CtrSchedCompiles).Inc()
+			c.schedEvent("compile", key)
 			return coll.Build(key, a), func() {}
 		}
 		ba := a.BufArgs()
@@ -57,11 +74,15 @@ func (c *Comm) acquireSched(key coll.Key, a coll.Args) (*coll.Schedule, func()) 
 		e.args = ba
 		e.inUse = true
 		c.cache.hits++
+		c.met.Counter(trace.CtrSchedHits).Inc()
+		c.schedEvent("rebind", key)
 		return e.sched, func() { e.inUse = false }
 	}
 	e := &schedEntry{sched: coll.Build(key, a), args: a.BufArgs(), inUse: true}
 	c.cache.entries[key] = e
 	c.cache.compiles++
+	c.met.Counter(trace.CtrSchedCompiles).Inc()
+	c.schedEvent("compile", key)
 	return e.sched, func() { e.inUse = false }
 }
 

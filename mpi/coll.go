@@ -127,66 +127,74 @@ func (c *Comm) schedViews(op coll.OpKind, a coll.Args) (*coll.Schedule, func()) 
 
 // Barrier blocks until all ranks reach it.
 func (c *Comm) Barrier() {
+	defer c.span("Barrier")()
 	s, release := c.sched(coll.OpBarrier, coll.Args{})
-	coll.ExecBlocking(c, s, tagBarrier)
+	coll.ExecBlockingRec(c, s, tagBarrier, c.rec)
 	release()
 }
 
 // Bcast distributes data (in place) from root.
 func (c *Comm) Bcast(root int, data []byte) {
+	defer c.span("Bcast")()
 	c.checkRoot("Bcast", root)
 	s, release := c.sched(coll.OpBcast, coll.Args{Root: root, Data: data})
-	coll.ExecBlocking(c, s, tagBcast)
+	coll.ExecBlockingRec(c, s, tagBcast, c.rec)
 	release()
 }
 
 // AllreduceF64 combines x elementwise across ranks, in place.
 func (c *Comm) AllreduceF64(x []float64, op coll.Op) {
+	defer c.span("AllreduceF64")()
 	c.checkOp("AllreduceF64", op)
 	s, release := c.sched(coll.OpAllreduce, coll.Args{X: x, Op: op})
-	coll.ExecBlocking(c, s, tagAllreduce)
+	coll.ExecBlockingRec(c, s, tagAllreduce, c.rec)
 	release()
 }
 
 // ReduceF64 combines x into root's x (clobbered elsewhere).
 func (c *Comm) ReduceF64(root int, x []float64, op coll.Op) {
+	defer c.span("ReduceF64")()
 	c.checkRoot("ReduceF64", root)
 	c.checkOp("ReduceF64", op)
 	s, release := c.sched(coll.OpReduce, coll.Args{Root: root, X: x, Op: op})
-	coll.ExecBlocking(c, s, tagReduce)
+	coll.ExecBlockingRec(c, s, tagReduce, c.rec)
 	release()
 }
 
 // Allgather collects each rank's block into out[r].
 func (c *Comm) Allgather(mine []byte, out [][]byte) {
+	defer c.span("Allgather")()
 	c.checkAllgather("Allgather", mine, out)
 	s, release := c.schedViews(coll.OpAllgather, coll.Args{Mine: mine, Out: out})
-	coll.ExecBlocking(c, s, tagAllgather)
+	coll.ExecBlockingRec(c, s, tagAllgather, c.rec)
 	release()
 }
 
 // Alltoall exchanges send[r] → rank r into recv[s].
 func (c *Comm) Alltoall(send, recv [][]byte) {
+	defer c.span("Alltoall")()
 	c.checkAlltoall("Alltoall", send, recv)
 	s, release := c.schedViews(coll.OpAlltoall, coll.Args{Send: send, Recv: recv})
-	coll.ExecBlocking(c, s, tagAlltoall)
+	coll.ExecBlockingRec(c, s, tagAlltoall, c.rec)
 	release()
 }
 
 // Gather collects blocks at root (out[r] is filled on root only).
 func (c *Comm) Gather(root int, mine []byte, out [][]byte) {
+	defer c.span("Gather")()
 	c.checkGather("Gather", root, mine, out)
 	s, release := c.schedViews(coll.OpGather, coll.Args{Root: root, Mine: mine, Out: out})
-	coll.ExecBlocking(c, s, tagGather)
+	coll.ExecBlockingRec(c, s, tagGather, c.rec)
 	release()
 }
 
 // Scatter distributes blocks[r] from root to rank r's buf (MPI_Scatter;
 // blocks is only read on root).
 func (c *Comm) Scatter(root int, blocks [][]byte, buf []byte) {
+	defer c.span("Scatter")()
 	c.checkScatter("Scatter", root, blocks, buf)
 	s, release := c.schedViews(coll.OpScatter, coll.Args{Root: root, Send: blocks, Mine: buf})
-	coll.ExecBlocking(c, s, tagScatter)
+	coll.ExecBlockingRec(c, s, tagScatter, c.rec)
 	release()
 }
 
@@ -203,14 +211,16 @@ func (c *Comm) Scatter(root int, blocks [][]byte, buf []byte) {
 // Alltoallv exchanges variable-size blocks: sbuf's block d goes to rank d
 // and rbuf's block s receives from rank s.
 func (c *Comm) Alltoallv(sbuf []byte, scounts, sdispls []int, rbuf []byte, rcounts, rdispls []int) {
+	defer c.span("Alltoallv")()
 	a := c.alltoallvArgs("Alltoallv", sbuf, scounts, sdispls, rbuf, rcounts, rdispls)
 	s, release := c.sched(coll.OpAlltoallv, a)
-	coll.ExecBlocking(c, s, tagAlltoallv)
+	coll.ExecBlockingRec(c, s, tagAlltoallv, c.rec)
 	release()
 }
 
 // Ialltoallv starts a nonblocking variable-size alltoall exchange.
 func (c *Comm) Ialltoallv(sbuf []byte, scounts, sdispls []int, rbuf []byte, rcounts, rdispls []int) *Request {
+	defer c.span("Ialltoallv")()
 	a := c.alltoallvArgs("Ialltoallv", sbuf, scounts, sdispls, rbuf, rcounts, rdispls)
 	return c.nbcStart(coll.OpAlltoallv, a)
 }
@@ -219,14 +229,16 @@ func (c *Comm) Ialltoallv(sbuf []byte, scounts, sdispls []int, rbuf []byte, rcou
 // rcounts[r] bytes) lands in rbuf's block r on every rank. rcounts must be
 // identical on all ranks, as in MPI.
 func (c *Comm) Allgatherv(mine []byte, rbuf []byte, rcounts, rdispls []int) {
+	defer c.span("Allgatherv")()
 	a := c.allgathervArgs("Allgatherv", mine, rbuf, rcounts, rdispls)
 	s, release := c.sched(coll.OpAllgatherv, a)
-	coll.ExecBlocking(c, s, tagAllgatherv)
+	coll.ExecBlockingRec(c, s, tagAllgatherv, c.rec)
 	release()
 }
 
 // Iallgatherv starts a nonblocking variable-size allgather.
 func (c *Comm) Iallgatherv(mine []byte, rbuf []byte, rcounts, rdispls []int) *Request {
+	defer c.span("Iallgatherv")()
 	a := c.allgathervArgs("Iallgatherv", mine, rbuf, rcounts, rdispls)
 	return c.nbcStart(coll.OpAllgatherv, a)
 }
@@ -235,14 +247,16 @@ func (c *Comm) Iallgatherv(mine []byte, rbuf []byte, rcounts, rdispls []int) *Re
 // rcounts[r] bytes) lands in rbuf's block r on root. rbuf, rcounts and
 // rdispls are only read on root.
 func (c *Comm) Gatherv(root int, mine []byte, rbuf []byte, rcounts, rdispls []int) {
+	defer c.span("Gatherv")()
 	a := c.gathervArgs("Gatherv", root, mine, rbuf, rcounts, rdispls)
 	s, release := c.sched(coll.OpGatherv, a)
-	coll.ExecBlocking(c, s, tagGatherv)
+	coll.ExecBlockingRec(c, s, tagGatherv, c.rec)
 	release()
 }
 
 // Igatherv starts a nonblocking variable-size gather at root.
 func (c *Comm) Igatherv(root int, mine []byte, rbuf []byte, rcounts, rdispls []int) *Request {
+	defer c.span("Igatherv")()
 	a := c.gathervArgs("Igatherv", root, mine, rbuf, rcounts, rdispls)
 	return c.nbcStart(coll.OpGatherv, a)
 }
@@ -251,14 +265,16 @@ func (c *Comm) Igatherv(root int, mine []byte, rbuf []byte, rcounts, rdispls []i
 // scounts[r] bytes) lands in rank r's buf. sbuf, scounts and sdispls are
 // only read on root.
 func (c *Comm) Scatterv(root int, sbuf []byte, scounts, sdispls []int, buf []byte) {
+	defer c.span("Scatterv")()
 	a := c.scattervArgs("Scatterv", root, sbuf, scounts, sdispls, buf)
 	s, release := c.sched(coll.OpScatterv, a)
-	coll.ExecBlocking(c, s, tagScatterv)
+	coll.ExecBlockingRec(c, s, tagScatterv, c.rec)
 	release()
 }
 
 // Iscatterv starts a nonblocking variable-size scatter from root.
 func (c *Comm) Iscatterv(root int, sbuf []byte, scounts, sdispls []int, buf []byte) *Request {
+	defer c.span("Iscatterv")()
 	a := c.scattervArgs("Iscatterv", root, sbuf, scounts, sdispls, buf)
 	return c.nbcStart(coll.OpScatterv, a)
 }
@@ -268,14 +284,16 @@ func (c *Comm) Iscatterv(root int, sbuf []byte, scounts, sdispls []int, buf []by
 // in recv. counts must be identical on all ranks, as in MPI. x may be
 // clobbered as scratch.
 func (c *Comm) ReduceScatterF64(x, recv []float64, counts []int, op coll.Op) {
+	defer c.span("ReduceScatterF64")()
 	a := c.reduceScatterArgs("ReduceScatterF64", x, recv, counts, op)
 	s, release := c.sched(coll.OpReduceScatter, a)
-	coll.ExecBlocking(c, s, tagReduceScatter)
+	coll.ExecBlockingRec(c, s, tagReduceScatter, c.rec)
 	release()
 }
 
 // IreduceScatterF64 starts a nonblocking reduce-scatter of x.
 func (c *Comm) IreduceScatterF64(x, recv []float64, counts []int, op coll.Op) *Request {
+	defer c.span("IreduceScatterF64")()
 	a := c.reduceScatterArgs("IreduceScatterF64", x, recv, counts, op)
 	return c.nbcStart(coll.OpReduceScatter, a)
 }
@@ -318,24 +336,28 @@ func (c *Comm) nbcStartViews(op coll.OpKind, a coll.Args) *Request {
 func (c *Comm) nbcStartSched(s *coll.Schedule, release func()) *Request {
 	if c.nbcEng == nil {
 		c.nbcEng = nbc.NewEngine(c.mgr, nbcTransport{c})
+		c.nbcEng.Instrument(c.rec, c.met)
 	}
 	return &Request{c: c, op: c.nbcEng.StartDone(c.proc, s, release)}
 }
 
 // Ibarrier starts a nonblocking barrier.
 func (c *Comm) Ibarrier() *Request {
+	defer c.span("Ibarrier")()
 	return c.nbcStart(coll.OpBarrier, coll.Args{})
 }
 
 // Ibcast starts a nonblocking broadcast of data (in place) from root. The
 // buffer must not be touched until the request completes.
 func (c *Comm) Ibcast(root int, data []byte) *Request {
+	defer c.span("Ibcast")()
 	c.checkRoot("Ibcast", root)
 	return c.nbcStart(coll.OpBcast, coll.Args{Root: root, Data: data})
 }
 
 // IallreduceF64 starts a nonblocking elementwise allreduce of x in place.
 func (c *Comm) IallreduceF64(x []float64, op coll.Op) *Request {
+	defer c.span("IallreduceF64")()
 	c.checkOp("IallreduceF64", op)
 	return c.nbcStart(coll.OpAllreduce, coll.Args{X: x, Op: op})
 }
@@ -343,6 +365,7 @@ func (c *Comm) IallreduceF64(x []float64, op coll.Op) *Request {
 // IreduceF64 starts a nonblocking reduction of x into root's x (clobbered
 // elsewhere).
 func (c *Comm) IreduceF64(root int, x []float64, op coll.Op) *Request {
+	defer c.span("IreduceF64")()
 	c.checkRoot("IreduceF64", root)
 	c.checkOp("IreduceF64", op)
 	return c.nbcStart(coll.OpReduce, coll.Args{Root: root, X: x, Op: op})
@@ -350,18 +373,21 @@ func (c *Comm) IreduceF64(root int, x []float64, op coll.Op) *Request {
 
 // Iallgather starts a nonblocking allgather of each rank's block into out[r].
 func (c *Comm) Iallgather(mine []byte, out [][]byte) *Request {
+	defer c.span("Iallgather")()
 	c.checkAllgather("Iallgather", mine, out)
 	return c.nbcStartViews(coll.OpAllgather, coll.Args{Mine: mine, Out: out})
 }
 
 // Ialltoall starts a nonblocking alltoall exchange send[r] → rank r.
 func (c *Comm) Ialltoall(send, recv [][]byte) *Request {
+	defer c.span("Ialltoall")()
 	c.checkAlltoall("Ialltoall", send, recv)
 	return c.nbcStartViews(coll.OpAlltoall, coll.Args{Send: send, Recv: recv})
 }
 
 // Igather starts a nonblocking gather of blocks at root.
 func (c *Comm) Igather(root int, mine []byte, out [][]byte) *Request {
+	defer c.span("Igather")()
 	c.checkGather("Igather", root, mine, out)
 	return c.nbcStartViews(coll.OpGather, coll.Args{Root: root, Mine: mine, Out: out})
 }
@@ -369,6 +395,7 @@ func (c *Comm) Igather(root int, mine []byte, out [][]byte) *Request {
 // Iscatter starts a nonblocking scatter of blocks[r] from root to rank r's
 // buf (blocks is only read on root).
 func (c *Comm) Iscatter(root int, blocks [][]byte, buf []byte) *Request {
+	defer c.span("Iscatter")()
 	c.checkScatter("Iscatter", root, blocks, buf)
 	return c.nbcStartViews(coll.OpScatter, coll.Args{Root: root, Send: blocks, Mine: buf})
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/marcel"
 	"repro/internal/nbc"
 	"repro/internal/pioman"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -79,6 +80,9 @@ type Comm struct {
 	nbcEng *nbc.Engine // lazily created schedule engine
 	cache  *schedCache // per-communicator persistent-schedule cache
 
+	rec *trace.Recorder // event recorder (nil when tracing is off)
+	met *trace.Registry // this rank's counter registry (never nil under Run)
+
 	selfSends []selfMsg
 	selfRecvs []*Request
 }
@@ -89,7 +93,8 @@ type selfMsg struct {
 	data []byte
 }
 
-func newComm(cfg Config, proc *vtime.Proc, p *ch3.Process, node *marcel.Node, mgr *pioman.Manager) *Comm {
+func newComm(cfg Config, proc *vtime.Proc, p *ch3.Process, node *marcel.Node,
+	mgr *pioman.Manager, rec *trace.Recorder, met *trace.Registry) *Comm {
 	next := int32(3)
 	group := make([]int, p.Size)
 	inv := make([]int, p.Size)
@@ -104,7 +109,27 @@ func newComm(cfg Config, proc *vtime.Proc, p *ch3.Process, node *marcel.Node, mg
 	return &Comm{cfg: cfg, proc: proc, p: p, node: node, mgr: mgr,
 		group: group, inv: inv, rank: p.Rank, nodes: nodes,
 		twoLvl: twoLevelApplies(&cfg, nodes),
-		ctx:    0, collCtx: 1, nbcCtx: 2, nextCtx: &next}
+		ctx:    0, collCtx: 1, nbcCtx: 2, nextCtx: &next,
+		rec: rec, met: met}
+}
+
+// noEnd is the span closer handed out when tracing is off.
+var noEnd = func() {}
+
+// span opens an "mpi" entry-point span and returns its closer. With tracing
+// off it returns immediately; entry points pay only a nil check.
+func (c *Comm) span(name string, args ...trace.Arg) func() {
+	if c.rec == nil {
+		return noEnd
+	}
+	return c.rec.Span("mpi", name, args...)
+}
+
+// Mark drops a named instant event on this rank's app track — an
+// application annotation (phase boundaries, iteration markers) that trace
+// consumers such as bench.OverlapFromTrace key on. No-op when tracing is off.
+func (c *Comm) Mark(name string) {
+	c.rec.Instant("mark", name)
 }
 
 // Rank returns this process's rank within the communicator.
@@ -145,7 +170,9 @@ func (c *Comm) Wtime() float64 { return c.proc.Now().Seconds() }
 
 // Compute occupies a core for the given number of virtual seconds.
 func (c *Comm) Compute(seconds float64) {
+	end := c.span("Compute")
 	c.node.Compute(c.proc, vtime.DurationOf(seconds))
+	end()
 }
 
 // ComputeFlops occupies a core for the time ops floating-point operations
@@ -160,6 +187,7 @@ func (c *Comm) ComputeFlops(ops float64) {
 
 // Isend starts a nonblocking send.
 func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	defer c.span("Isend", trace.Int64("dst", int64(dst)), trace.Int64("bytes", int64(len(data))))()
 	c.checkRank(dst, "Isend")
 	if dst == c.rank {
 		return c.selfIsend(int32(tag), c.ctx, data)
@@ -169,6 +197,7 @@ func (c *Comm) Isend(dst, tag int, data []byte) *Request {
 
 // Irecv starts a nonblocking receive; src may be AnySource, tag AnyTag.
 func (c *Comm) Irecv(src, tag int, buf []byte) *Request {
+	defer c.span("Irecv", trace.Int64("src", int64(src)))()
 	if src != AnySource {
 		c.checkRank(src, "Irecv")
 	}
@@ -184,23 +213,28 @@ func (c *Comm) Irecv(src, tag int, buf []byte) *Request {
 
 // Send is a blocking send.
 func (c *Comm) Send(dst, tag int, data []byte) {
+	defer c.span("Send", trace.Int64("dst", int64(dst)), trace.Int64("bytes", int64(len(data))))()
 	c.Wait(c.Isend(dst, tag, data))
 }
 
 // Recv is a blocking receive.
 func (c *Comm) Recv(src, tag int, buf []byte) Status {
+	defer c.span("Recv", trace.Int64("src", int64(src)))()
 	return c.Wait(c.Irecv(src, tag, buf))
 }
 
 // Wait blocks until the request completes and returns its status (zero
 // Status for sends).
 func (c *Comm) Wait(q *Request) Status {
+	end := c.span("Wait")
 	c.mgr.WaitUntil(c.proc, q.Done)
+	end()
 	return q.status()
 }
 
 // WaitAll blocks until every request completes.
 func (c *Comm) WaitAll(qs ...*Request) {
+	defer c.span("WaitAll", trace.Int64("n", int64(len(qs))))()
 	c.mgr.WaitUntil(c.proc, func() bool {
 		for _, q := range qs {
 			if q != nil && !q.Done() {
@@ -214,6 +248,7 @@ func (c *Comm) WaitAll(qs ...*Request) {
 // WaitAny blocks until at least one request completes and returns its index
 // and status (MPI_Waitany). Indexes of already-completed requests win.
 func (c *Comm) WaitAny(qs ...*Request) (int, Status) {
+	defer c.span("WaitAny", trace.Int64("n", int64(len(qs))))()
 	idx := -1
 	c.mgr.WaitUntil(c.proc, func() bool {
 		for i, q := range qs {
@@ -238,6 +273,7 @@ func (c *Comm) Test(q *Request) bool {
 
 // Sendrecv performs a concurrent send and receive (both with tag).
 func (c *Comm) Sendrecv(dst, stag int, sdata []byte, src, rtag int, rbuf []byte) Status {
+	defer c.span("Sendrecv", trace.Int64("dst", int64(dst)), trace.Int64("src", int64(src)))()
 	rq := c.Irecv(src, rtag, rbuf)
 	sq := c.Isend(dst, stag, sdata)
 	c.WaitAll(sq, rq)

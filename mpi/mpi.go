@@ -94,6 +94,7 @@ import (
 	"repro/internal/pioman"
 	"repro/internal/simnet"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -135,6 +136,13 @@ type Config struct {
 	// identical either way; the switch exists for verification and
 	// benchmarking.
 	NoSchedCache bool
+	// Trace, when set, records a deterministic virtual-time event trace of
+	// the run (MPI entry points, protocol phases, progress passes,
+	// collective rounds). Create with trace.New(); export afterwards with
+	// trace.WriteChrome / trace.Summarize. Each Trace binds to exactly one
+	// run. Tracing is behavior-neutral: virtual-time results are identical
+	// with it on or off.
+	Trace *trace.Trace
 }
 
 // RailStat summarizes one rail's traffic after a run.
@@ -150,6 +158,59 @@ type Report struct {
 	Seconds float64
 	// Rails holds per-rail traffic statistics.
 	Rails []RailStat
+	// Metrics holds the run's counter registries (always populated): per-rank
+	// progress/collective statistics plus run-level rail traffic.
+	Metrics *trace.Metrics
+}
+
+// RailCounter is one rail's traffic in a counter snapshot.
+type RailCounter struct {
+	Name    string `json:"name"`
+	Packets int64  `json:"packets"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// CounterSnapshot condenses a run's registries into the observability
+// numbers benchmark JSON rows carry: schedule-cache effectiveness, the
+// app/background poll split, nonblocking-collective activity and per-rail
+// traffic.
+type CounterSnapshot struct {
+	SchedCompiles int64         `json:"sched_compiles"`
+	SchedHits     int64         `json:"sched_hits"`
+	CacheHitRate  float64       `json:"cache_hit_rate"`
+	AppPolls      int64         `json:"app_polls"`
+	AppEvents     int64         `json:"app_events"`
+	BgPolls       int64         `json:"bg_polls"`
+	BgEvents      int64         `json:"bg_events"`
+	BgTasks       int64         `json:"bg_tasks"`
+	NbcStarted    int64         `json:"nbc_started"`
+	NbcCompleted  int64         `json:"nbc_completed"`
+	NbcBGRounds   int64         `json:"nbc_bg_rounds"`
+	Rails         []RailCounter `json:"rails,omitempty"`
+}
+
+// Counters snapshots the report's metrics registries.
+func (rep *Report) Counters() *CounterSnapshot {
+	m := rep.Metrics
+	cs := &CounterSnapshot{
+		SchedCompiles: m.Total(trace.CtrSchedCompiles),
+		SchedHits:     m.Total(trace.CtrSchedHits),
+		AppPolls:      m.Total(trace.CtrAppPolls),
+		AppEvents:     m.Total(trace.CtrAppEvents),
+		BgPolls:       m.Total(trace.CtrBgPolls),
+		BgEvents:      m.Total(trace.CtrBgEvents),
+		BgTasks:       m.Total(trace.CtrBgTasks),
+		NbcStarted:    m.Total(trace.CtrNbcStarted),
+		NbcCompleted:  m.Total(trace.CtrNbcCompleted),
+		NbcBGRounds:   m.Total(trace.CtrNbcBGRounds),
+	}
+	if n := cs.SchedCompiles + cs.SchedHits; n > 0 {
+		cs.CacheHitRate = float64(cs.SchedHits) / float64(n)
+	}
+	for _, r := range rep.Rails {
+		cs.Rails = append(cs.Rails, RailCounter{Name: r.Name, Packets: r.Packets, Bytes: r.Bytes})
+	}
+	return cs
 }
 
 // Run executes main once per rank over the configured stack and cluster. It
@@ -189,6 +250,20 @@ func Run(cfg Config, main func(*Comm)) (*Report, error) {
 		return nil, err
 	}
 
+	// Counter registries always exist (counters cost what the old ad-hoc
+	// stat fields did); event recorders only when a Trace is configured.
+	met := trace.NewMetrics(cfg.NP)
+	recs := make([]*trace.Recorder, cfg.NP)
+	if cfg.Trace != nil {
+		if err := cfg.Trace.Bind(e, cfg.NP); err != nil {
+			return nil, fmt.Errorf("mpi: %v", err)
+		}
+		cfg.Trace.AttachMetrics(met)
+		for r := range recs {
+			recs[r] = cfg.Trace.Recorder(r)
+		}
+	}
+
 	nodes := make([]*marcel.Node, cfg.Cluster.NumNodes)
 	for i := range nodes {
 		nodes[i] = marcel.NewNode(e, fmt.Sprintf("node%d", i), cfg.Cluster.CoresPerNode)
@@ -202,7 +277,9 @@ func Run(cfg Config, main func(*Comm)) (*Report, error) {
 			continue
 		}
 		for _, r := range local {
-			ep, err := nemesis.NewEndpoint(e, r, cfg.Stack.Shm)
+			shmOpt := cfg.Stack.Shm
+			shmOpt.Rec = recs[r]
+			ep, err := nemesis.NewEndpoint(e, r, shmOpt)
 			if err != nil {
 				return nil, err
 			}
@@ -221,15 +298,20 @@ func Run(cfg Config, main func(*Comm)) (*Report, error) {
 	procs := make([]*ch3.Process, cfg.NP)
 	for r := 0; r < cfg.NP; r++ {
 		node := nodes[placement.NodeOf(r)]
-		mgrs[r] = pioman.New(e, node, fmt.Sprintf("rank%d", r), cfg.Stack.PioConfig())
+		pioCfg := cfg.Stack.PioConfig()
+		pioCfg.Metrics = met.Rank(r)
+		pioCfg.Rec = recs[r]
+		mgrs[r] = pioman.New(e, node, fmt.Sprintf("rank%d", r), pioCfg)
 		same := make([]bool, cfg.NP)
 		for q := 0; q < cfg.NP; q++ {
 			same[q] = q != r && placement.SameNode(r, q)
 		}
-		procs[r] = ch3.NewProcess(e, r, cfg.NP, mgrs[r], eps[r], same, cfg.Stack.CH3)
+		ch3Cfg := cfg.Stack.CH3
+		ch3Cfg.Rec = recs[r]
+		procs[r] = ch3.NewProcess(e, r, cfg.NP, mgrs[r], eps[r], same, ch3Cfg)
 	}
 
-	if err := wireBackend(cfg, e, net, placement, mgrs, procs); err != nil {
+	if err := wireBackend(cfg, e, net, placement, mgrs, procs, recs); err != nil {
 		return nil, err
 	}
 
@@ -239,8 +321,9 @@ func Run(cfg Config, main func(*Comm)) (*Report, error) {
 	finished := 0
 	for r := 0; r < cfg.NP; r++ {
 		r := r
-		e.Spawn(fmt.Sprintf("app%d", r), func(p *vtime.Proc) {
-			c := newComm(cfg, p, procs[r], nodes[placement.NodeOf(r)], mgrs[r])
+		ap := e.Spawn(fmt.Sprintf("app%d", r), func(p *vtime.Proc) {
+			c := newComm(cfg, p, procs[r], nodes[placement.NodeOf(r)], mgrs[r],
+				recs[r], met.Rank(r))
 			main(c)
 			c.Barrier()
 			finished++
@@ -250,17 +333,20 @@ func Run(cfg Config, main func(*Comm)) (*Report, error) {
 				}
 			}
 		})
+		ap.SetLabel(trace.TidApp)
 	}
 
 	if err := e.Run(); err != nil {
 		return nil, err
 	}
 
-	rep := &Report{Seconds: e.Now().Seconds()}
+	rep := &Report{Seconds: e.Now().Seconds(), Metrics: met}
 	for _, rail := range net.Rails() {
 		rep.Rails = append(rep.Rails, RailStat{
 			Name: rail.Params.Name, Packets: rail.Packets, Bytes: rail.BytesSent,
 		})
+		met.Run.Counter(trace.RailPacketsCtr(rail.Params.Name)).Add(rail.Packets)
+		met.Run.Counter(trace.RailBytesCtr(rail.Params.Name)).Add(rail.BytesSent)
 	}
 	return rep, nil
 }
@@ -276,7 +362,8 @@ func needsNetwork(p topo.Placement) bool {
 
 // wireBackend instantiates the configured network backend for every rank.
 func wireBackend(cfg Config, e *vtime.Engine, net *simnet.Network,
-	placement topo.Placement, mgrs []*pioman.Manager, procs []*ch3.Process) error {
+	placement topo.Placement, mgrs []*pioman.Manager, procs []*ch3.Process,
+	recs []*trace.Recorder) error {
 
 	switch cfg.Stack.Backend {
 	case cluster.BackendDirect, cluster.BackendGenericNmad:
@@ -293,6 +380,7 @@ func wireBackend(cfg Config, e *vtime.Engine, net *simnet.Network,
 					mgr.PostTask(pioman.Task{Cost: cost, Run: run})
 				},
 				Notify: mgr.Notify,
+				Rec:    recs[r],
 			})
 			mgrs[r].Register(cores[r], pioman.ClassNet)
 		}

@@ -79,7 +79,8 @@ func (c *Comm) Split(color, key int) *Comm {
 	return &Comm{cfg: c.cfg, proc: c.proc, p: c.p, node: c.node, mgr: c.mgr,
 		group: group, inv: inv, rank: rank, nodes: nodes,
 		twoLvl: twoLevelApplies(&c.cfg, nodes),
-		ctx:    base, collCtx: base + 1, nbcCtx: base + 2, nextCtx: c.nextCtx}
+		ctx:    base, collCtx: base + 1, nbcCtx: base + 2, nextCtx: c.nextCtx,
+		rec: c.rec, met: c.met}
 }
 
 // SplitNode returns the sub-communicator of the ranks sharing this rank's
