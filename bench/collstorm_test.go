@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/cluster"
+)
+
+// TestCollStormSmoke: the stress harness completes a small storm under
+// PIOMan, every started op finishes, the pools get exercised and the window
+// actually reaches the requested in-flight depth.
+func TestCollStormSmoke(t *testing.T) {
+	r, err := CollStormOnce(cluster.MPICH2NmadIB().WithPIOMan(true), CollStormOptions{
+		NP: 4, InFlight: 64, Batches: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops != 4*16*2 {
+		t.Errorf("ops = %d, want %d", r.Ops, 4*16*2)
+	}
+	if r.InFlight < 64 {
+		t.Errorf("in-flight window %d, want >= 64", r.InFlight)
+	}
+	if r.NsPerOp <= 0 || r.OpsPerSec <= 0 || r.VirtualS <= 0 {
+		t.Errorf("degenerate measurement: %+v", r)
+	}
+	cs := r.Counters
+	if cs == nil {
+		t.Fatal("no counter snapshot")
+	}
+	if cs.ReqPoolHits == 0 || cs.OpPoolHits == 0 {
+		t.Errorf("pools never hit: req %d/%d, op %d/%d",
+			cs.ReqPoolHits, cs.ReqPoolMisses, cs.OpPoolHits, cs.OpPoolMisses)
+	}
+	if cs.ReqInFlight < 4 {
+		t.Errorf("peak in-flight requests %d, want >= NP", cs.ReqInFlight)
+	}
+}
+
+// TestCollStormDeterminism: the storm's virtual time is a pure function of
+// its configuration — host-side pooling, batching and window refills leave
+// no trace in simulated seconds.
+func TestCollStormDeterminism(t *testing.T) {
+	opts := CollStormOptions{NP: 4, InFlight: 48, Batches: 2}
+	a, err := CollStormOnce(cluster.MPICH2NmadIB().WithPIOMan(true), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CollStormOnce(cluster.MPICH2NmadIB().WithPIOMan(true), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.VirtualS != b.VirtualS {
+		t.Errorf("virtual time not deterministic: %v != %v", a.VirtualS, b.VirtualS)
+	}
+}
+
+// BenchmarkCollStorm reports the host cost of the stress workload —
+// ops/sec, ns per simulated operation and allocations — at a moderate
+// window. CI runs it with -benchmem as the hot-path regression smoke.
+func BenchmarkCollStorm(b *testing.B) {
+	stack := cluster.MPICH2NmadIB().WithPIOMan(true)
+	opts := CollStormOptions{NP: 8, InFlight: 256, Batches: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := CollStormOnce(stack, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.OpsPerSec, "storm-ops/s")
+		b.ReportMetric(r.AllocsPerOp, "storm-allocs/op")
+	}
+}

@@ -1,0 +1,115 @@
+// Command collstorm stresses the host-side hot paths: each rank keeps a
+// window of nonblocking allreduces outstanding across several sibling Split
+// communicators and refills it for a number of batches, sweeping the total
+// in-flight depth. Where collbench measures virtual time per collective,
+// collstorm measures what sustaining thousands of concurrent operations
+// costs the *simulator host* — ops/sec, ns/op and allocs/op — exercising
+// the bucketed matching queues, the request/op/job free lists and the
+// schedule cache's rebind path at depth. The headline check: per-op host
+// time stays flat (within 2×) as the window grows from the smallest to the
+// largest swept depth, i.e. matching and pooling are O(1) per op, not
+// O(in-flight). -json emits machine-readable rows for the perf trajectory
+// (BENCH_collstorm.json).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/bench"
+	"repro/cluster"
+)
+
+// row is one measurement at one in-flight depth, JSON-shaped for
+// BENCH_collstorm.json.
+type row struct {
+	Stack    string `json:"stack"`
+	NP       int    `json:"np"`
+	Splits   int    `json:"splits"`
+	Batches  int    `json:"batches"`
+	InFlight int    `json:"in_flight"`
+	bench.CollStormResult
+}
+
+func main() {
+	np := flag.Int("np", 8, "number of ranks (round-robin placed over two nodes)")
+	splits := flag.Int("splits", 3, "sibling Split communicators per rank")
+	inflight := flag.String("inflight", "100,1000,5000",
+		"comma-separated total in-flight op depths to sweep")
+	batches := flag.Int("batches", 4, "window refills per depth")
+	pioman := flag.Bool("pioman", true, "run under the PIOMan background-progress regime")
+	jsonOut := flag.Bool("json", false, "emit JSON rows instead of the table")
+	flag.Parse()
+
+	var depths []int
+	for _, f := range strings.Split(*inflight, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			log.Fatalf("bad in-flight depth %q", f)
+		}
+		depths = append(depths, n)
+	}
+	stack := cluster.MPICH2NmadIB()
+	if *pioman {
+		stack = stack.WithPIOMan(true)
+	}
+
+	var rows []row
+	for _, depth := range depths {
+		r, err := bench.CollStormOnce(stack, bench.CollStormOptions{
+			NP: *np, Splits: *splits, InFlight: depth, Batches: *batches,
+		})
+		if err != nil {
+			log.Fatalf("collstorm depth %d: %v", depth, err)
+		}
+		rows = append(rows, row{
+			Stack: stack.Name, NP: *np, Splits: *splits, Batches: *batches,
+			InFlight: r.InFlight, CollStormResult: r,
+		})
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("collective storm (np=%d, %d splits, %d batches, %s)\n\n",
+		*np, *splits, *batches, stack.Name)
+	fmt.Printf("%10s %10s %12s %12s %12s %10s %22s\n",
+		"in-flight", "ops", "ops/sec", "ns/op", "allocs/op", "req-peak", "pools req/op hit%")
+	for _, r := range rows {
+		cs := r.Counters
+		reqPct := pct(cs.ReqPoolHits, cs.ReqPoolMisses)
+		opPct := pct(cs.OpPoolHits, cs.OpPoolMisses)
+		fmt.Printf("%10d %10d %12.0f %12.0f %12.1f %10d %12s/%-8s\n",
+			r.InFlight, r.Ops, r.OpsPerSec, r.NsPerOp, r.AllocsPerOp,
+			cs.ReqInFlight, reqPct, opPct)
+	}
+	if len(rows) > 1 {
+		lo, hi := rows[0], rows[len(rows)-1]
+		ratio := hi.NsPerOp / lo.NsPerOp
+		verdict := "flat matching/pooling (within 2x)"
+		if ratio > 2 {
+			verdict = "REGRESSION: per-op host cost grows with depth"
+		}
+		fmt.Printf("\nper-op host time %d -> %d in flight: %.2fx — %s\n",
+			lo.InFlight, hi.InFlight, ratio, verdict)
+	}
+}
+
+// pct formats a hit percentage from hit/miss counters.
+func pct(hits, misses int64) string {
+	if hits+misses == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(hits)/float64(hits+misses))
+}

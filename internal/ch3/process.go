@@ -24,6 +24,14 @@ type Config struct {
 	// Rec, when set, records protocol-phase trace events (eager vs
 	// rendezvous, RTS/CTS/data legs).
 	Rec *trace.Recorder
+	// Metrics, when set, registers the request-pool counters and the
+	// in-flight-requests gauge under canonical names; nil keeps standalone
+	// counters.
+	Metrics *trace.Registry
+	// NoPooling disables the request/job free lists: every operation
+	// allocates fresh. Virtual-time results are identical either way; the
+	// switch exists for neutrality verification.
+	NoPooling bool
 }
 
 func (c Config) withDefaults() Config {
@@ -102,11 +110,12 @@ type Process struct {
 	vcs     []*VC
 	backend NetBackend
 
-	posted []*Request
-	uq     []*uqEntry
+	posted postedQueue
+	uq     uqQueue
+	qseq   uint64 // monotone stamp shared by both matching queues
 
 	seqTo      []uint32
-	jobs       [][]*shmJob
+	jobs       []jobQueue
 	activeDsts []int
 
 	asm        map[asmKey]*assembly
@@ -114,10 +123,43 @@ type Process struct {
 	rdvOut     map[uint64]*Request
 	nextCookie uint64
 
+	// Free lists (see getReq/putReq): recycled transient requests and shm
+	// jobs, so the nonblocking-collective hot path stops allocating.
+	reqFree []*Request
+	jobFree []*shmJob
+
+	// Pool statistics and the live in-flight gauge, cached off cfg.Metrics
+	// at construction so the hot path never does a registry lookup.
+	reqPoolHits   *trace.Counter
+	reqPoolMisses *trace.Counter
+	inFlight      *trace.Gauge
+
 	// Stats.
 	ShmEagerSends int64
 	ShmRdvSends   int64
 	UnexpectedLen int64
+}
+
+// jobQueue is one destination's FIFO of pending shm jobs, consumed via a
+// head index so popping neither reallocates nor retains finished jobs (the
+// vacated slot is niled; a drained queue resets to reuse its capacity).
+type jobQueue struct {
+	q    []*shmJob
+	head int
+}
+
+func (jq *jobQueue) empty() bool    { return jq.head >= len(jq.q) }
+func (jq *jobQueue) push(j *shmJob) { jq.q = append(jq.q, j) }
+func (jq *jobQueue) front() *shmJob { return jq.q[jq.head] }
+func (jq *jobQueue) pop() *shmJob {
+	j := jq.q[jq.head]
+	jq.q[jq.head] = nil
+	jq.head++
+	if jq.head == len(jq.q) {
+		jq.q = jq.q[:0]
+		jq.head = 0
+	}
+	return j
 }
 
 // NewProcess wires a CH3 process. shm may be nil when the rank shares a node
@@ -129,10 +171,14 @@ func NewProcess(e *vtime.Engine, rank, size int, mgr *pioman.Manager,
 		rec:    cfg.Rec,
 		shm:    shm,
 		seqTo:  make([]uint32, size),
-		jobs:   make([][]*shmJob, size),
+		jobs:   make([]jobQueue, size),
 		asm:    make(map[asmKey]*assembly),
 		rdvIn:  make(map[uint64]*Request),
 		rdvOut: make(map[uint64]*Request),
+
+		reqPoolHits:   cfg.Metrics.Counter(trace.CtrReqPoolHits),
+		reqPoolMisses: cfg.Metrics.Counter(trace.CtrReqPoolMisses),
+		inFlight:      cfg.Metrics.Gauge(trace.GaugeReqsInFlight),
 	}
 	p.vcs = make([]*VC, size)
 	for i := 0; i < size; i++ {
@@ -174,17 +220,98 @@ func (p *Process) NewSendRequest(dst int, tag, ctx int32, data []byte) *Request 
 	return &Request{p: p, kind: sendReq, dst: int32(dst), tag: tag, ctx: ctx, data: data}
 }
 
+// ---- request/job free lists ----------------------------------------------
+
+// getReq pops a recycled request from the free list (or allocates on a
+// miss), marked transient: it will return to the pool once its single
+// completion callback has run.
+func (p *Process) getReq(kind reqKind) *Request {
+	if n := len(p.reqFree); n > 0 {
+		r := p.reqFree[n-1]
+		p.reqFree[n-1] = nil
+		p.reqFree = p.reqFree[:n-1]
+		r.p, r.kind, r.transient = p, kind, true
+		p.reqPoolHits.Inc()
+		return r
+	}
+	p.reqPoolMisses.Inc()
+	return &Request{p: p, kind: kind, transient: true}
+}
+
+// putReq recycles a completed transient request, keeping its callback
+// slice's capacity so re-registering a callback after reuse is free.
+func (p *Process) putReq(r *Request) {
+	cbs := r.onComplete[:0]
+	*r = Request{onComplete: cbs}
+	p.reqFree = append(p.reqFree, r)
+}
+
+// getJob pops a recycled shm job (or allocates on a miss).
+func (p *Process) getJob() *shmJob {
+	if p.cfg.NoPooling {
+		return &shmJob{}
+	}
+	if n := len(p.jobFree); n > 0 {
+		j := p.jobFree[n-1]
+		p.jobFree[n-1] = nil
+		p.jobFree = p.jobFree[:n-1]
+		return j
+	}
+	return &shmJob{}
+}
+
+// putJob recycles a finished shm job.
+func (p *Process) putJob(j *shmJob) {
+	if p.cfg.NoPooling {
+		return
+	}
+	*j = shmJob{}
+	p.jobFree = append(p.jobFree, j)
+}
+
+// track mirrors a freshly issued request on the in-flight gauge; Complete
+// decrements it.
+func (p *Process) track(r *Request) {
+	r.tracked = true
+	p.inFlight.Inc()
+}
+
+// nextQSeq returns the next matching-queue stamp.
+func (p *Process) nextQSeq() uint64 {
+	p.qseq++
+	return p.qseq
+}
+
 // Isend starts a send of data to dst under (ctx, tag). The caller's proc is
 // charged the software overhead; same-node traffic goes through the Nemesis
 // cell queues, remote traffic through the VC send override or backend.
 func (p *Process) Isend(proc *vtime.Proc, dst int, tag, ctx int32, data []byte) *Request {
+	return p.isend(proc, dst, tag, ctx, data, false)
+}
+
+// IsendPooled is Isend returning a pooled transient request: the caller
+// must register exactly one completion callback and never touch the
+// request after that callback has run (the nonblocking-collective engine's
+// contract). With Config.NoPooling it degrades to a plain Isend.
+func (p *Process) IsendPooled(proc *vtime.Proc, dst int, tag, ctx int32, data []byte) *Request {
+	return p.isend(proc, dst, tag, ctx, data, !p.cfg.NoPooling)
+}
+
+func (p *Process) isend(proc *vtime.Proc, dst int, tag, ctx int32, data []byte, pooled bool) *Request {
 	if p.cfg.SendSW > 0 {
 		proc.Sleep(p.cfg.SendSW)
 	}
-	r := p.NewSendRequest(dst, tag, ctx, data)
+	var r *Request
+	if pooled {
+		r = p.getReq(sendReq)
+	} else {
+		r = &Request{p: p, kind: sendReq}
+	}
+	r.dst, r.tag, r.ctx, r.data = int32(dst), tag, ctx, data
 	if dst == p.Rank {
 		panic("ch3: self-send must be handled by the MPI layer")
 	}
+	p.track(r)
 	vc := p.vcs[dst]
 	if vc.SameNode {
 		p.isendShm(proc, r)
@@ -206,12 +333,12 @@ func (p *Process) isendShm(proc *vtime.Proc, r *Request) {
 		p.ShmEagerSends++
 		p.rec.Instant("proto", "shm-eager",
 			trace.Int64("dst", int64(dst)), trace.Int64("bytes", int64(len(r.data))))
-		p.pushJob(&shmJob{
-			req: r, dst: dst,
-			hdr: shmq.Header{Type: shmq.CellData, Tag: r.tag, Ctx: r.ctx,
-				SeqNo: seq, MsgLen: int64(len(r.data))},
-			data: r.data,
-		})
+		j := p.getJob()
+		j.req, j.dst = r, dst
+		j.hdr = shmq.Header{Type: shmq.CellData, Tag: r.tag, Ctx: r.ctx,
+			SeqNo: seq, MsgLen: int64(len(r.data))}
+		j.data = r.data
+		p.pushJob(j)
 	} else {
 		p.ShmRdvSends++
 		p.rec.Instant("proto", "shm-rts",
@@ -220,12 +347,12 @@ func (p *Process) isendShm(proc *vtime.Proc, r *Request) {
 		cookie := p.nextCookie
 		r.cookie = cookie
 		p.rdvOut[cookie] = r
-		p.pushJob(&shmJob{
-			dst: dst,
-			hdr: shmq.Header{Type: shmq.CellRTS, Tag: r.tag, Ctx: r.ctx,
-				SeqNo: seq, MsgLen: int64(len(r.data)), ReqID: cookie},
-			control: true,
-		})
+		j := p.getJob()
+		j.dst = dst
+		j.hdr = shmq.Header{Type: shmq.CellRTS, Tag: r.tag, Ctx: r.ctx,
+			SeqNo: seq, MsgLen: int64(len(r.data)), ReqID: cookie}
+		j.control = true
+		p.pushJob(j)
 	}
 	// Advance inline for latency; stalled fragments continue under Poll.
 	if cost := p.advanceJobs(); cost > 0 {
@@ -237,10 +364,27 @@ func (p *Process) isendShm(proc *vtime.Proc, r *Request) {
 // AnyTag. The unexpected queue is consulted first; otherwise the request is
 // enqueued on the posted receive queue and/or handed to the backend.
 func (p *Process) Irecv(proc *vtime.Proc, src int, tag, ctx int32, buf []byte) *Request {
+	return p.irecv(proc, src, tag, ctx, buf, false)
+}
+
+// IrecvPooled is Irecv returning a pooled transient request, under the same
+// single-callback contract as IsendPooled.
+func (p *Process) IrecvPooled(proc *vtime.Proc, src int, tag, ctx int32, buf []byte) *Request {
+	return p.irecv(proc, src, tag, ctx, buf, !p.cfg.NoPooling)
+}
+
+func (p *Process) irecv(proc *vtime.Proc, src int, tag, ctx int32, buf []byte, pooled bool) *Request {
 	if p.cfg.RecvSW > 0 {
 		proc.Sleep(p.cfg.RecvSW)
 	}
-	r := &Request{p: p, kind: recvReq, src: int32(src), tag: tag, ctx: ctx, buf: buf}
+	var r *Request
+	if pooled {
+		r = p.getReq(recvReq)
+	} else {
+		r = &Request{p: p, kind: recvReq}
+	}
+	r.src, r.tag, r.ctx, r.buf = int32(src), tag, ctx, buf
+	p.track(r)
 
 	if cost, matched := p.tryUnexpected(r); matched {
 		if cost > 0 {
@@ -253,7 +397,7 @@ func (p *Process) Irecv(proc *vtime.Proc, src int, tag, ctx int32, buf []byte) *
 	remoteKnown := src != int(AnySource) && !p.vcs[src].SameNode
 
 	if src == int(AnySource) || !remoteKnown || central {
-		p.posted = append(p.posted, r)
+		p.posted.add(r, p.nextQSeq())
 	}
 	if p.backend != nil {
 		if src == int(AnySource) {
@@ -270,70 +414,49 @@ func (p *Process) Irecv(proc *vtime.Proc, src int, tag, ctx int32, buf []byte) *
 	return r
 }
 
-// tryUnexpected scans the unexpected queue for a match; on success it
+// tryUnexpected consults the unexpected queue for a match; on success it
 // consumes/claims the entry and returns the copy cost.
 func (p *Process) tryUnexpected(r *Request) (vtime.Duration, bool) {
-	for i, u := range p.uq {
-		if u.org == nil {
-			continue // claimed already
-		}
-		if !r.matches(u.ctx, u.src, u.tag) {
-			continue
-		}
-		if u.isRTS {
-			p.uq = append(p.uq[:i], p.uq[i+1:]...)
-			cost := p.startRdvRecv(r, u.src, u.tag, u.msgLen, u.rtsCookie, u.org)
-			return cost, true
-		}
-		if u.pendingFrags > 0 {
-			// Partially assembled: claim it; completion happens when the
-			// last fragment lands. The prefix already buffered is copied
-			// out now.
-			a := p.asm[u.key]
-			a.req = r
-			a.uq = nil
-			n := copy(r.buf, u.data[:a.received])
-			p.uq = append(p.uq[:i], p.uq[i+1:]...)
-			return copyCost(n, p.ShmMemBW()), true
-		}
-		p.uq = append(p.uq[:i], p.uq[i+1:]...)
-		n := copy(r.buf, u.data)
-		r.SetRecvStatus(u.src, u.tag, n, n < u.msgLen)
-		r.Complete()
+	u := p.uq.take(r)
+	if u == nil {
+		return 0, false
+	}
+	if u.isRTS {
+		return p.startRdvRecv(r, u.src, u.tag, u.msgLen, u.rtsCookie, u.org), true
+	}
+	if u.pendingFrags > 0 {
+		// Partially assembled: claim it; completion happens when the
+		// last fragment lands. The prefix already buffered is copied
+		// out now.
+		a := p.asm[u.key]
+		a.req = r
+		a.uq = nil
+		n := copy(r.buf, u.data[:a.received])
 		return copyCost(n, p.ShmMemBW()), true
 	}
-	return 0, false
+	n := copy(r.buf, u.data)
+	r.SetRecvStatus(u.src, u.tag, n, n < u.msgLen)
+	r.Complete()
+	return copyCost(n, p.ShmMemBW()), true
 }
 
-// MatchPosted removes and returns the first posted receive matching the
+// MatchPosted removes and returns the oldest posted receive matching the
 // arrival triple, or nil. Exposed for central-matching backends.
 func (p *Process) MatchPosted(ctx, src, tag int32) *Request {
-	for i, r := range p.posted {
-		if r.matches(ctx, src, tag) {
-			p.posted = append(p.posted[:i], p.posted[i+1:]...)
-			if r.src == AnySource && p.backend != nil {
-				p.backend.ShmMatchedAny(r)
-			}
-			return r
-		}
+	r := p.posted.match(ctx, src, tag)
+	if r != nil && r.src == AnySource && p.backend != nil {
+		p.backend.ShmMatchedAny(r)
 	}
-	return nil
+	return r
 }
 
 // RemovePosted drops a request from the posted queue (direct-module
 // completion path). It is a no-op if the request is not queued.
-func (p *Process) RemovePosted(r *Request) {
-	for i, q := range p.posted {
-		if q == r {
-			p.posted = append(p.posted[:i], p.posted[i+1:]...)
-			return
-		}
-	}
-}
+func (p *Process) RemovePosted(r *Request) { p.posted.remove(r) }
 
 // PostedLen and UnexpectedQLen expose queue depths for tests.
-func (p *Process) PostedLen() int      { return len(p.posted) }
-func (p *Process) UnexpectedQLen() int { return len(p.uq) }
+func (p *Process) PostedLen() int      { return p.posted.n }
+func (p *Process) UnexpectedQLen() int { return p.uq.n }
 
 // Wait blocks until r completes, driving progress per the configured regime.
 func (p *Process) Wait(proc *vtime.Proc, r *Request) {
@@ -398,10 +521,11 @@ func (p *Process) Poll() (int, vtime.Duration) {
 }
 
 func (p *Process) pushJob(j *shmJob) {
-	if len(p.jobs[j.dst]) == 0 {
+	jq := &p.jobs[j.dst]
+	if jq.empty() {
 		p.activeDsts = append(p.activeDsts, j.dst)
 	}
-	p.jobs[j.dst] = append(p.jobs[j.dst], j)
+	jq.push(j)
 }
 
 // advanceJobs pushes fragments of queued shm jobs into free cells, in
@@ -411,20 +535,18 @@ func (p *Process) advanceJobs() vtime.Duration {
 		return 0
 	}
 	var cost vtime.Duration
-	var still []int
+	still := p.activeDsts[:0]
 	for _, dst := range p.activeDsts {
-		q := p.jobs[dst]
-		for len(q) > 0 {
-			j := q[0]
-			c, done := p.advanceOne(j)
+		jq := &p.jobs[dst]
+		for !jq.empty() {
+			c, done := p.advanceOne(jq.front())
 			cost += c
 			if !done {
 				break // flow control: retry when a cell frees
 			}
-			q = q[1:]
+			p.putJob(jq.pop())
 		}
-		p.jobs[dst] = q
-		if len(q) > 0 {
+		if !jq.empty() {
 			still = append(still, dst)
 		}
 	}
@@ -484,22 +606,22 @@ type shmOrigin struct{}
 func (shmOrigin) OriginName() string { return "shm" }
 
 func (shmOrigin) SendCTS(p *Process, dst int32, senderCookie, recvCookie uint64, granted int) vtime.Duration {
-	p.pushJob(&shmJob{
-		dst: int(dst),
-		hdr: shmq.Header{Type: shmq.CellCTS, ReqID: senderCookie,
-			MsgLen: int64(granted), Offset: int64(recvCookie)},
-		control: true,
-	})
+	j := p.getJob()
+	j.dst = int(dst)
+	j.hdr = shmq.Header{Type: shmq.CellCTS, ReqID: senderCookie,
+		MsgLen: int64(granted), Offset: int64(recvCookie)}
+	j.control = true
+	p.pushJob(j)
 	return p.cfg.CTSCost
 }
 
 func (shmOrigin) SendRdvData(p *Process, req *Request, dst int32, recvCookie uint64, granted int) {
-	p.pushJob(&shmJob{
-		req: req, dst: int(dst),
-		hdr: shmq.Header{Type: shmq.CellRdvData, ReqID: recvCookie,
-			MsgLen: int64(granted)},
-		data: req.data[:granted],
-	})
+	j := p.getJob()
+	j.req, j.dst = req, int(dst)
+	j.hdr = shmq.Header{Type: shmq.CellRdvData, ReqID: recvCookie,
+		MsgLen: int64(granted)}
+	j.data = req.data[:granted]
+	p.pushJob(j)
 }
 
 func (shmOrigin) DataCopyCost(p *Process, n int) vtime.Duration {
@@ -585,7 +707,7 @@ func (p *Process) handleEagerFrag(hdr shmq.Header, payload []byte, org Origin) v
 		p.asm[key] = &assembly{uq: u, received: len(payload), msgLen: msgLen,
 			ctx: hdr.Ctx, src: hdr.Src, tag: hdr.Tag}
 	}
-	p.uq = append(p.uq, u)
+	p.uq.add(u, p.nextQSeq())
 	return cost
 }
 
@@ -596,8 +718,9 @@ func (p *Process) handleRTS(hdr shmq.Header, org Origin) vtime.Duration {
 	if r := p.MatchPosted(hdr.Ctx, hdr.Src, hdr.Tag); r != nil {
 		return p.startRdvRecv(r, hdr.Src, hdr.Tag, int(hdr.MsgLen), hdr.ReqID, org)
 	}
-	p.uq = append(p.uq, &uqEntry{ctx: hdr.Ctx, src: hdr.Src, tag: hdr.Tag,
-		msgLen: int(hdr.MsgLen), isRTS: true, rtsCookie: hdr.ReqID, org: org})
+	p.uq.add(&uqEntry{ctx: hdr.Ctx, src: hdr.Src, tag: hdr.Tag,
+		msgLen: int(hdr.MsgLen), isRTS: true, rtsCookie: hdr.ReqID, org: org},
+		p.nextQSeq())
 	p.UnexpectedLen++
 	return 0
 }

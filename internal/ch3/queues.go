@@ -1,0 +1,223 @@
+package ch3
+
+// Bucketed matching queues. The CH3 posted-receive and unexpected queues
+// were flat slices scanned linearly on every arrival and every Irecv, so
+// the cost of matching one message grew with the number of *unrelated*
+// in-flight operations — exactly what a heavy-traffic workload (thousands
+// of outstanding nonblocking collectives across many communicators)
+// produces. Both queues are bucketed by (context, source) here, with a
+// per-context wildcard bucket for ANY_SOURCE receives, so a lookup touches
+// only the traffic that could possibly match.
+//
+// MPI's non-overtaking rule is preserved exactly: every enqueued entry is
+// stamped with a monotone sequence number, buckets are FIFO, and a match
+// that could be satisfied from two buckets (a specific-source bucket and
+// the wildcard bucket, or — for an ANY_SOURCE receive — several source
+// buckets of one context) takes the candidate with the smallest stamp.
+// The first tag-match of a FIFO bucket is that bucket's smallest-stamp
+// match, so the min over buckets equals the pick of the old global linear
+// scan — the refactor is behavior-identical, hence virtual-time neutral.
+//
+// Removals splice with copy + nil of the vacated tail slot, so a drained
+// bucket's backing array never retains dead requests (the old append-splice
+// left the last element reachable forever). Emptied buckets keep their
+// backing arrays: the set of (context, source) pairs a process talks to is
+// small and stable, and reusing capacity keeps the steady-state hot path
+// allocation-free.
+
+// queueKey addresses one matching bucket.
+type queueKey struct{ ctx, src int32 }
+
+// postedQueue holds pending receive requests: specific-source receives in
+// spec[(ctx,src)], ANY_SOURCE receives in wild[ctx].
+type postedQueue struct {
+	spec map[queueKey][]*Request
+	wild map[int32][]*Request
+	n    int
+}
+
+func (q *postedQueue) init() {
+	if q.spec == nil {
+		q.spec = make(map[queueKey][]*Request)
+		q.wild = make(map[int32][]*Request)
+	}
+}
+
+// add enqueues r, stamped with seq.
+func (q *postedQueue) add(r *Request, seq uint64) {
+	q.init()
+	r.qseq = seq
+	if r.src == AnySource {
+		q.wild[r.ctx] = append(q.wild[r.ctx], r)
+	} else {
+		k := queueKey{r.ctx, r.src}
+		q.spec[k] = append(q.spec[k], r)
+	}
+	q.n++
+}
+
+// tagOK reports whether a posted tag (possibly AnyTag) accepts an arrival
+// tag.
+func tagOK(posted, arrival int32) bool { return posted == AnyTag || posted == arrival }
+
+// firstPosted returns the index of the first (smallest-stamp) request in a
+// FIFO bucket accepting the arrival tag, or -1.
+func firstPosted(b []*Request, tag int32) int {
+	for i, r := range b {
+		if tagOK(r.tag, tag) {
+			return i
+		}
+	}
+	return -1
+}
+
+// match removes and returns the oldest posted receive matching a concrete
+// arrival triple, or nil. Candidates come from the specific (ctx,src)
+// bucket and the context's wildcard bucket; the smaller stamp wins.
+func (q *postedQueue) match(ctx, src, tag int32) *Request {
+	if q.n == 0 {
+		return nil
+	}
+	k := queueKey{ctx, src}
+	sb := q.spec[k]
+	wb := q.wild[ctx]
+	si := firstPosted(sb, tag)
+	wi := firstPosted(wb, tag)
+	switch {
+	case si < 0 && wi < 0:
+		return nil
+	case wi < 0 || (si >= 0 && sb[si].qseq < wb[wi].qseq):
+		r := sb[si]
+		q.spec[k] = spliceReqs(sb, si)
+		q.n--
+		return r
+	default:
+		r := wb[wi]
+		q.wild[ctx] = spliceReqs(wb, wi)
+		q.n--
+		return r
+	}
+}
+
+// remove drops r from its bucket; no-op if r is not queued.
+func (q *postedQueue) remove(r *Request) {
+	if q.n == 0 {
+		return
+	}
+	if r.src == AnySource {
+		b := q.wild[r.ctx]
+		for i, x := range b {
+			if x == r {
+				q.wild[r.ctx] = spliceReqs(b, i)
+				q.n--
+				return
+			}
+		}
+		return
+	}
+	k := queueKey{r.ctx, r.src}
+	b := q.spec[k]
+	for i, x := range b {
+		if x == r {
+			q.spec[k] = spliceReqs(b, i)
+			q.n--
+			return
+		}
+	}
+}
+
+// spliceReqs removes index i, niling the vacated tail slot so the backing
+// array stops retaining the dropped request.
+func spliceReqs(b []*Request, i int) []*Request {
+	copy(b[i:], b[i+1:])
+	b[len(b)-1] = nil
+	return b[:len(b)-1]
+}
+
+// uqQueue holds unexpected arrivals, bucketed by their concrete
+// (context, source). srcs indexes, per context, the sources that ever had
+// a bucket, so an ANY_SOURCE receive scans only same-context buckets.
+type uqQueue struct {
+	buckets map[queueKey][]*uqEntry
+	srcs    map[int32][]int32
+	n       int
+}
+
+func (q *uqQueue) init() {
+	if q.buckets == nil {
+		q.buckets = make(map[queueKey][]*uqEntry)
+		q.srcs = make(map[int32][]int32)
+	}
+}
+
+// add enqueues u, stamped with seq.
+func (q *uqQueue) add(u *uqEntry, seq uint64) {
+	q.init()
+	u.qseq = seq
+	k := queueKey{u.ctx, u.src}
+	b, existed := q.buckets[k]
+	if !existed {
+		q.srcs[u.ctx] = append(q.srcs[u.ctx], u.src)
+	}
+	q.buckets[k] = append(b, u)
+	q.n++
+}
+
+// firstUq returns the index of the first live entry in a FIFO bucket
+// accepting the receive tag (possibly AnyTag), or -1. Claimed entries
+// (org == nil) are skipped, mirroring the old linear scan.
+func firstUq(b []*uqEntry, rtag int32) int {
+	for i, u := range b {
+		if u.org == nil {
+			continue
+		}
+		if rtag == AnyTag || rtag == u.tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// take removes and returns the oldest unexpected entry matching receive r,
+// or nil. A concrete-source receive looks at one bucket; an ANY_SOURCE
+// receive takes the smallest stamp across the context's buckets.
+func (q *uqQueue) take(r *Request) *uqEntry {
+	if q.n == 0 {
+		return nil
+	}
+	if r.src != AnySource {
+		k := queueKey{r.ctx, r.src}
+		b := q.buckets[k]
+		i := firstUq(b, r.tag)
+		if i < 0 {
+			return nil
+		}
+		u := b[i]
+		q.buckets[k] = spliceUq(b, i)
+		q.n--
+		return u
+	}
+	bestIdx := -1
+	var bestKey queueKey
+	var best *uqEntry
+	for _, src := range q.srcs[r.ctx] {
+		k := queueKey{r.ctx, src}
+		b := q.buckets[k]
+		if i := firstUq(b, r.tag); i >= 0 && (best == nil || b[i].qseq < best.qseq) {
+			best, bestKey, bestIdx = b[i], k, i
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	q.buckets[bestKey] = spliceUq(q.buckets[bestKey], bestIdx)
+	q.n--
+	return best
+}
+
+// spliceUq removes index i, niling the vacated tail slot.
+func spliceUq(b []*uqEntry, i int) []*uqEntry {
+	copy(b[i:], b[i+1:])
+	b[len(b)-1] = nil
+	return b[:len(b)-1]
+}

@@ -44,6 +44,19 @@ type Request struct {
 	kind reqKind
 	done bool
 
+	// transient marks a pooled request (IsendPooled/IrecvPooled): the
+	// caller holds it only until its single completion callback has run,
+	// after which the request returns to the process free list. Exactly one
+	// callback must ever be registered on a transient request.
+	transient bool
+	// tracked mirrors the request on the in-flight gauge; cleared (and the
+	// gauge decremented) at completion.
+	tracked bool
+
+	// qseq is the monotone enqueue stamp the bucketed matching queues order
+	// candidates by (see queues.go).
+	qseq uint64
+
 	// Stat is valid once Done for receive requests.
 	Stat Status
 
@@ -85,25 +98,46 @@ func (r *Request) Dest() int { return int(r.dst) }
 func (r *Request) MatchTriple() (ctx, src, tag int32) { return r.ctx, r.src, r.tag }
 
 // AddCallback registers f to run when the request completes. If the request
-// is already complete, f runs immediately.
+// is already complete, f runs immediately — and, for a transient request,
+// that immediate run is the single permitted callback, so the request
+// returns to the pool afterwards (the sync-completion half of the free
+// rule; see Complete for the async half).
 func (r *Request) AddCallback(f func()) {
 	if r.done {
 		f()
+		if r.transient {
+			r.p.putReq(r)
+		}
 		return
 	}
 	r.onComplete = append(r.onComplete, f)
 }
 
 // Complete marks the request done and fires callbacks. Exposed for backends.
+//
+// Transient free rule: a pooled request is recycled exactly once — here,
+// after its callbacks ran, if any were registered; otherwise in
+// AddCallback's immediate-run branch (the request completed synchronously
+// inside Isend/Irecv, before its single callback was registered). No
+// backend touches a request after Complete, so recycling here is safe.
 func (r *Request) Complete() {
 	if r.done {
 		panic("ch3: double completion")
 	}
 	r.done = true
-	for _, f := range r.onComplete {
+	if r.tracked {
+		r.tracked = false
+		r.p.inFlight.Dec()
+	}
+	ran := len(r.onComplete) > 0
+	for i, f := range r.onComplete {
+		r.onComplete[i] = nil
 		f()
 	}
-	r.onComplete = nil
+	r.onComplete = r.onComplete[:0]
+	if r.transient && ran {
+		r.p.putReq(r)
+	}
 }
 
 // SetRecvStatus records the receive outcome. Exposed for backends.
@@ -146,6 +180,7 @@ func (r *Request) matches(ctx, src, tag int32) bool {
 // NewMadeleine's own buffers).
 type uqEntry struct {
 	ctx, src, tag int32
+	qseq          uint64 // monotone enqueue stamp (bucketed-queue ordering)
 	msgLen        int
 	data          []byte // eager payload (fully assembled)
 	pendingFrags  int    // >0 while multi-fragment assembly continues

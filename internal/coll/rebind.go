@@ -31,7 +31,18 @@ type BufArgs struct {
 // same-key invocations to produce positionally matching region lists —
 // and rebindBytes ignores zero-length regions anyway.
 func (a Args) BufArgs() BufArgs {
-	ba := BufArgs{Op: a.Op}
+	var ba BufArgs
+	a.BufArgsInto(&ba)
+	return ba
+}
+
+// BufArgsInto is BufArgs flattening into a caller-provided value, reusing
+// its slice capacity — the schedule cache's hot path flattens into a
+// per-entry scratch so a rebind allocates nothing.
+func (a Args) BufArgsInto(ba *BufArgs) {
+	ba.Bytes = ba.Bytes[:0]
+	ba.F64 = ba.F64[:0]
+	ba.Op = a.Op
 	add := func(b []byte) {
 		if len(b) > 0 {
 			ba.Bytes = append(ba.Bytes, b)
@@ -54,7 +65,6 @@ func (a Args) BufArgs() BufArgs {
 	if len(a.RecvF64) > 0 {
 		ba.F64 = append(ba.F64, a.RecvF64)
 	}
-	return ba
 }
 
 // Rebind retargets the schedule from the old argument regions to the new

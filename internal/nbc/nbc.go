@@ -49,16 +49,23 @@ type Engine struct {
 
 	nextSeq int32
 
+	// free recycles completed Ops (see getOp/putOp); pooling can be turned
+	// off for neutrality verification.
+	free    []*Op
+	pooling bool
+
 	// Stats, registered on a metrics registry via Instrument (standalone
 	// counters otherwise). Read through the accessor methods.
 	started   *trace.Counter // ops started
 	completed *trace.Counter // ops completed
 	bgRounds  *trace.Counter // rounds issued from a deferred progress task
+	opHits    *trace.Counter // op pool hits
+	opMisses  *trace.Counter // op pool misses
 }
 
 // NewEngine binds a schedule engine to a progress manager and transport.
 func NewEngine(mgr *pioman.Manager, tr Transport) *Engine {
-	e := &Engine{mgr: mgr, tr: tr}
+	e := &Engine{mgr: mgr, tr: tr, pooling: true}
 	e.Instrument(nil, nil)
 	return e
 }
@@ -71,7 +78,13 @@ func (e *Engine) Instrument(rec *trace.Recorder, met *trace.Registry) {
 	e.started = met.Counter(trace.CtrNbcStarted)
 	e.completed = met.Counter(trace.CtrNbcCompleted)
 	e.bgRounds = met.Counter(trace.CtrNbcBGRounds)
+	e.opHits = met.Counter(trace.CtrOpPoolHits)
+	e.opMisses = met.Counter(trace.CtrOpPoolMisses)
 }
+
+// DisablePooling makes every Start allocate a fresh Op (virtual-time results
+// are identical either way; the switch exists for neutrality verification).
+func (e *Engine) DisablePooling() { e.pooling = false }
 
 // Started returns the number of operations started.
 func (e *Engine) Started() int64 { return e.started.Value() }
@@ -82,16 +95,30 @@ func (e *Engine) Completed() int64 { return e.completed.Value() }
 // BGRounds returns the number of rounds issued from deferred progress tasks.
 func (e *Engine) BGRounds() int64 { return e.bgRounds.Value() }
 
-// Op is one in-flight nonblocking collective.
+// Op is one in-flight nonblocking collective. Completed ops return to the
+// engine free list; a holder that may outlive completion (e.g. an MPI
+// request) captures Gen() at start and polls DoneGen, which stays correct
+// across recycling.
 type Op struct {
 	eng    *Engine
 	sched  *coll.Schedule
 	seq    int32
 	onDone func()
 
+	// gen counts acquisitions of this Op struct: bumped in getOp, never in
+	// putOp. A recycled op therefore reads done=true to stale holders until
+	// it is reacquired, after which their captured gen no longer matches.
+	gen uint64
+
 	round   int
 	pending int // outstanding transfers of the current round (+1 issue guard)
 	done    bool
+
+	// cb / taskFn are the per-op closures of the hot path (transfer
+	// completion callback, deferred-round task), built once per Op struct so
+	// recycling does not re-allocate them.
+	cb     func()
+	taskFn func(*vtime.Proc)
 
 	// Trace state: the async-operation id spanning start→completion, the
 	// op/algo display name, and the current round's start time.
@@ -99,6 +126,48 @@ type Op struct {
 	name       string
 	roundStart vtime.Time
 }
+
+// getOp pops a recycled Op (or allocates one with its closures). The
+// generation bump at acquisition invalidates DoneGen handles from the
+// previous life.
+func (e *Engine) getOp() *Op {
+	var op *Op
+	if n := len(e.free); n > 0 {
+		op = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		e.opHits.Inc()
+	} else {
+		op = &Op{eng: e}
+		op.cb = op.transferDone
+		op.taskFn = func(p *vtime.Proc) {
+			op.eng.bgRounds.Inc()
+			op.issueRounds(p)
+		}
+		e.opMisses.Inc()
+	}
+	op.gen++
+	op.done = false
+	op.round, op.pending = 0, 0
+	op.tid = 0
+	return op
+}
+
+// putOp returns a completed op to the free list. done stays true (and gen
+// unbumped) so stale holders keep reading completion correctly.
+func (e *Engine) putOp(op *Op) {
+	op.sched = nil
+	op.onDone = nil
+	op.name = ""
+	e.free = append(e.free, op)
+}
+
+// Gen returns the op's current acquisition generation.
+func (op *Op) Gen() uint64 { return op.gen }
+
+// DoneGen reports whether the op life identified by gen has completed. A
+// generation mismatch means the op was recycled — that life is over.
+func (op *Op) DoneGen(gen uint64) bool { return op.gen != gen || op.done }
 
 // Start begins executing s and returns its handle. Round 0 is issued on the
 // calling proc (charging the caller the per-operation software costs, as a
@@ -112,7 +181,8 @@ func (e *Engine) Start(proc *vtime.Proc, s *coll.Schedule) *Op {
 // the op completes — possibly synchronously, before StartDone returns. The
 // schedule cache uses it to release a persistent schedule for rebinding.
 func (e *Engine) StartDone(proc *vtime.Proc, s *coll.Schedule, onDone func()) *Op {
-	op := &Op{eng: e, sched: s, seq: e.nextSeq & 0x7fffffff, onDone: onDone}
+	op := e.getOp()
+	op.sched, op.seq, op.onDone = s, e.nextSeq&0x7fffffff, onDone
 	e.nextSeq++
 	e.started.Inc()
 	if e.rec.Enabled() {
@@ -158,7 +228,7 @@ func (op *Op) issueRounds(proc *vtime.Proc) {
 			} else {
 				r = op.eng.tr.Irecv(proc, pr.Peer, tag, pr.Buf)
 			}
-			r.AddCallback(op.transferDone)
+			r.AddCallback(op.cb)
 		}
 		op.pending--
 		if op.pending > 0 {
@@ -186,10 +256,7 @@ func (op *Op) transferDone() {
 	// Defer the next round's submission to the progress engine: under
 	// PIOMan the background thread executes it (submission offload,
 	// §2.2.3); otherwise it runs inside the next MPI call's progress pass.
-	op.eng.mgr.PostTask(pioman.Task{RunP: func(p *vtime.Proc) {
-		op.eng.bgRounds.Inc()
-		op.issueRounds(p)
-	}})
+	op.eng.mgr.PostTask(pioman.Task{RunP: op.taskFn})
 	op.eng.mgr.Notify()
 }
 
@@ -212,9 +279,18 @@ func (op *Op) complete() {
 	op.eng.completed.Inc()
 	if op.tid != 0 {
 		op.eng.rec.AsyncEnd("nbc", op.name, op.tid)
+		op.tid = 0
 	}
-	if op.onDone != nil {
-		op.onDone()
+	if f := op.onDone; f != nil {
+		op.onDone = nil
+		f()
+	}
+	// The op is finished: no transfer callback or deferred task can still
+	// reference it (rounds only advance once every transfer of the previous
+	// round has called back), so it can recycle now. Holders polling DoneGen
+	// keep reading done=true until the struct is reacquired.
+	if op.eng.pooling {
+		op.eng.putOp(op)
 	}
 	// Wake anything blocked on the manager: under PIOMan the background
 	// thread re-broadcasts completion; without it Notify broadcasts the

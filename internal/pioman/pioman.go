@@ -81,7 +81,12 @@ type Manager struct {
 
 	sources []Source
 	classes []Class
-	tasks   []Task
+
+	// tasks is consumed through taskHead so popping reuses the backing
+	// array (vacated slots are zeroed; a drained queue resets to [:0]) —
+	// the deferred-round hot path posts and pops thousands of tasks.
+	tasks    []Task
+	taskHead int
 
 	// work is signalled by Notify and PostTask; the bg thread waits on it.
 	work *vtime.Cond
@@ -176,12 +181,21 @@ func (m *Manager) PostTask(t Task) {
 	}
 }
 
-// runTasks executes deferred tasks, charging their cost to p.
+// noTasks reports an empty deferred-task queue.
+func (m *Manager) noTasks() bool { return m.taskHead >= len(m.tasks) }
+
+// runTasks executes deferred tasks, charging their cost to p. Tasks may
+// post further tasks while running; they are picked up in the same pass.
 func (m *Manager) runTasks(p *vtime.Proc, bg bool) int {
 	n := 0
-	for len(m.tasks) > 0 {
-		t := m.tasks[0]
-		m.tasks = m.tasks[1:]
+	for !m.noTasks() {
+		t := m.tasks[m.taskHead]
+		m.tasks[m.taskHead] = Task{}
+		m.taskHead++
+		if m.noTasks() {
+			m.tasks = m.tasks[:0]
+			m.taskHead = 0
+		}
 		if t.Cost > 0 {
 			p.Sleep(t.Cost)
 		}
@@ -244,7 +258,7 @@ func (m *Manager) Progress(p *vtime.Proc) int {
 		m.appPolls.Inc()
 		m.appEvents.Add(int64(ev))
 		total += n + ev
-		if len(m.tasks) == 0 && !m.notified {
+		if m.noTasks() && !m.notified {
 			break
 		}
 	}
@@ -284,7 +298,7 @@ func (m *Manager) WaitUntil(p *vtime.Proc, done func() bool) {
 // an idle core, pays the reaction delay, and performs all pending work.
 func (m *Manager) bgLoop(p *vtime.Proc) {
 	for !m.stopped {
-		if !m.notified && len(m.tasks) == 0 {
+		if !m.notified && m.noTasks() {
 			m.work.Wait(p)
 			continue
 		}
@@ -303,7 +317,7 @@ func (m *Manager) bgLoop(p *vtime.Proc) {
 			// Keep sweeping while anything happened: one source's events
 			// may enable another's (e.g. an arrival parsed into the
 			// library's buffers that the ANY_SOURCE probe then matches).
-			if dn+de == 0 && len(m.tasks) == 0 && !m.notified {
+			if dn+de == 0 && m.noTasks() && !m.notified {
 				break
 			}
 		}

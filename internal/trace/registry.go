@@ -18,6 +18,30 @@ func (c *Counter) Inc() { c.v++ }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v }
 
+// Gauge is one named level statistic: a value that goes up and down (live
+// in-flight requests, pool occupancy) with its high-water mark tracked.
+// Like counters, gauges are live whether or not event tracing is enabled.
+type Gauge struct {
+	v, peak int64
+}
+
+// Inc raises the gauge by one, updating the peak.
+func (g *Gauge) Inc() {
+	g.v++
+	if g.v > g.peak {
+		g.peak = g.v
+	}
+}
+
+// Dec lowers the gauge by one.
+func (g *Gauge) Dec() { g.v-- }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v }
+
+// Peak returns the high-water mark.
+func (g *Gauge) Peak() int64 { return g.peak }
+
 // Registry is a get-or-create namespace of counters, in the spirit of the
 // MPI_T performance-variable interface: subsystems register their
 // statistics under dotted names ("pioman.bg_polls", "coll.sched_hits") and
@@ -28,10 +52,13 @@ func (c *Counter) Value() int64 { return c.v }
 // are not aggregated anywhere.
 type Registry struct {
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{counters: make(map[string]*Counter)} }
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter), gauges: make(map[string]*Gauge)}
+}
 
 // Counter returns the counter registered under name, creating it on first
 // use. On a nil registry it returns an unregistered standalone counter.
@@ -47,21 +74,39 @@ func (g *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// Gauge returns the gauge registered under name, creating it on first use.
+// On a nil registry it returns an unregistered standalone gauge.
+func (g *Registry) Gauge(name string) *Gauge {
+	if g == nil {
+		return &Gauge{}
+	}
+	if v, ok := g.gauges[name]; ok {
+		return v
+	}
+	v := &Gauge{}
+	g.gauges[name] = v
+	return v
+}
+
 // NamedValue is one snapshot entry.
 type NamedValue struct {
 	Name  string `json:"name"`
 	Value int64  `json:"value"`
 }
 
-// Snapshot returns every counter sorted by name (deterministic output
-// order for summaries and golden tests).
+// Snapshot returns every counter — plus each gauge's high-water mark under
+// "<name>.peak" — sorted by name (deterministic output order for summaries
+// and golden tests).
 func (g *Registry) Snapshot() []NamedValue {
 	if g == nil {
 		return nil
 	}
-	out := make([]NamedValue, 0, len(g.counters))
+	out := make([]NamedValue, 0, len(g.counters)+len(g.gauges))
 	for name, c := range g.counters {
 		out = append(out, NamedValue{Name: name, Value: c.v})
+	}
+	for name, v := range g.gauges {
+		out = append(out, NamedValue{Name: name + ".peak", Value: v.peak})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -95,7 +140,9 @@ func (m *Metrics) Rank(r int) *Registry {
 }
 
 // Totals sums each counter name across the per-rank registries and merges
-// the run-level registry, sorted by name.
+// the run-level registry, sorted by name. Gauges contribute their per-rank
+// high-water mark's cross-rank maximum under "<name>.peak" (peaks are
+// levels, not flows — summing them would overstate concurrency).
 func (m *Metrics) Totals() []NamedValue {
 	if m == nil {
 		return nil
@@ -109,12 +156,42 @@ func (m *Metrics) Totals() []NamedValue {
 	for name, c := range m.Run.counters {
 		sums[name] += c.v
 	}
+	for name, p := range m.gaugePeaks() {
+		sums[name+".peak"] = p
+	}
 	out := make([]NamedValue, 0, len(sums))
 	for name, v := range sums {
 		out = append(out, NamedValue{Name: name, Value: v})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// gaugePeaks folds every gauge name to its cross-rank maximum peak.
+func (m *Metrics) gaugePeaks() map[string]int64 {
+	peaks := make(map[string]int64)
+	for _, g := range append(append([]*Registry(nil), m.Ranks...), m.Run) {
+		for name, v := range g.gauges {
+			if v.peak > peaks[name] {
+				peaks[name] = v.peak
+			}
+		}
+	}
+	return peaks
+}
+
+// GaugePeak returns the cross-rank maximum high-water mark of one gauge.
+func (m *Metrics) GaugePeak(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	var p int64
+	for _, g := range append(append([]*Registry(nil), m.Ranks...), m.Run) {
+		if v, ok := g.gauges[name]; ok && v.peak > p {
+			p = v.peak
+		}
+	}
+	return p
 }
 
 // Total returns the cross-rank (plus run-level) sum of one counter name.
@@ -149,7 +226,19 @@ const (
 
 	CtrSchedCompiles = "coll.sched_compiles"
 	CtrSchedHits     = "coll.sched_hits"
+
+	// Free-list effectiveness on the heavy-traffic hot paths: hits recycle
+	// a pooled object, misses fall back to a fresh allocation.
+	CtrReqPoolHits   = "ch3.req_pool_hits"
+	CtrReqPoolMisses = "ch3.req_pool_misses"
+	CtrOpPoolHits    = "nbc.op_pool_hits"
+	CtrOpPoolMisses  = "nbc.op_pool_misses"
 )
+
+// GaugeReqsInFlight names the live CH3-request gauge: requests issued but
+// not yet completed on one rank. Its peak is the per-rank high-water mark
+// of concurrent in-flight traffic.
+const GaugeReqsInFlight = "ch3.reqs_in_flight"
 
 // RailPacketsCtr / RailBytesCtr name one rail's run-level traffic counters.
 func RailPacketsCtr(rail string) string { return "rail." + rail + ".packets" }

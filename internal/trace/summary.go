@@ -30,6 +30,14 @@ type Summary struct {
 	SchedHits     int64   `json:"sched_hits"`
 	CacheHitRate  float64 `json:"cache_hit_rate"`
 
+	// Free-list effectiveness on the request/op hot paths, plus the peak
+	// number of CH3 requests concurrently in flight on any one rank.
+	ReqPoolHits     int64 `json:"req_pool_hits"`
+	ReqPoolMisses   int64 `json:"req_pool_misses"`
+	OpPoolHits      int64 `json:"op_pool_hits"`
+	OpPoolMisses    int64 `json:"op_pool_misses"`
+	ReqInFlightPeak int64 `json:"req_in_flight_peak"`
+
 	// RoundTimings aggregates the per-round slices (ph X, cat "round") by
 	// op/algorithm name, sorted by name.
 	RoundTimings []RoundTiming `json:"round_timings,omitempty"`
@@ -78,6 +86,11 @@ func Summarize(t *Trace) *Summary {
 		if n := s.SchedCompiles + s.SchedHits; n > 0 {
 			s.CacheHitRate = float64(s.SchedHits) / float64(n)
 		}
+		s.ReqPoolHits = m.Total(CtrReqPoolHits)
+		s.ReqPoolMisses = m.Total(CtrReqPoolMisses)
+		s.OpPoolHits = m.Total(CtrOpPoolHits)
+		s.OpPoolMisses = m.Total(CtrOpPoolMisses)
+		s.ReqInFlightPeak = m.GaugePeak(GaugeReqsInFlight)
 		s.Counters = m.Totals()
 	}
 
@@ -194,6 +207,10 @@ func (s *Summary) WriteText(w io.Writer) {
 		s.AppPolls, s.AppEvents, s.BgPolls, s.BgEvents, s.BgTasks)
 	fmt.Fprintf(w, "  schedule cache: %d compiles, %d hits (%.0f%% hit rate)\n",
 		s.SchedCompiles, s.SchedHits, 100*s.CacheHitRate)
+	if s.ReqPoolHits+s.ReqPoolMisses+s.OpPoolHits+s.OpPoolMisses > 0 {
+		fmt.Fprintf(w, "  pools: requests %d hits / %d misses, nbc ops %d hits / %d misses; peak in-flight requests %d\n",
+			s.ReqPoolHits, s.ReqPoolMisses, s.OpPoolHits, s.OpPoolMisses, s.ReqInFlightPeak)
+	}
 	if len(s.RoundTimings) > 0 {
 		fmt.Fprintf(w, "  round timings:\n")
 		for _, rt := range s.RoundTimings {

@@ -19,23 +19,48 @@ type schedCache struct {
 	entries  map[coll.Key]*schedEntry
 	compiles int64
 	hits     int64
+
+	// Registry counters, resolved once (the rebind hot path must not do
+	// map lookups in the registry).
+	compilesCtr *trace.Counter
+	hitsCtr     *trace.Counter
 }
 
 type schedEntry struct {
 	sched *coll.Schedule
 	args  coll.BufArgs
-	inUse bool
+	// scratch is the flattening target of the next rebind; it swaps with
+	// args on every cache hit so the hot path reuses both region lists'
+	// capacity instead of allocating.
+	scratch coll.BufArgs
+	inUse   bool
+	// release is the closure handed to callers, built once per entry so a
+	// cached start does not allocate it.
+	release func()
 }
+
+// ensureCache creates the cache on first use.
+func (c *Comm) ensureCache() *schedCache {
+	if c.cache == nil {
+		c.cache = &schedCache{
+			entries:     make(map[coll.Key]*schedEntry),
+			compilesCtr: c.met.Counter(trace.CtrSchedCompiles),
+			hitsCtr:     c.met.Counter(trace.CtrSchedHits),
+		}
+	}
+	return c.cache
+}
+
+// noRelease is the release handed out for throwaway (uncached) schedules.
+var noRelease = func() {}
 
 // countCompile records an out-of-cache compilation (the aliased-views
 // bypass in schedViews) so SchedCacheStats and the collbench Compiles
 // column see every build, cached path or not.
 func (c *Comm) countCompile() {
-	if c.cache == nil {
-		c.cache = &schedCache{entries: make(map[coll.Key]*schedEntry)}
-	}
-	c.cache.compiles++
-	c.met.Counter(trace.CtrSchedCompiles).Inc()
+	cc := c.ensureCache()
+	cc.compiles++
+	cc.compilesCtr.Inc()
 }
 
 // schedEvent annotates a cache decision on the trace: the op/algorithm pair
@@ -53,37 +78,55 @@ func (c *Comm) schedEvent(what string, key coll.Key) {
 // for the same key compiles a throwaway schedule instead of corrupting the
 // cached one.
 func (c *Comm) acquireSched(key coll.Key, a coll.Args) (*coll.Schedule, func()) {
-	if c.cache == nil {
-		c.cache = &schedCache{entries: make(map[coll.Key]*schedEntry)}
-	}
+	cc := c.ensureCache()
 	if c.cfg.NoSchedCache {
-		c.cache.compiles++
-		c.met.Counter(trace.CtrSchedCompiles).Inc()
+		cc.compiles++
+		cc.compilesCtr.Inc()
 		c.schedEvent("compile", key)
-		return coll.Build(key, a), func() {}
+		return coll.Build(key, a), noRelease
 	}
-	if e, ok := c.cache.entries[key]; ok {
+	if e, ok := cc.entries[key]; ok {
 		if e.inUse {
-			c.cache.compiles++
-			c.met.Counter(trace.CtrSchedCompiles).Inc()
+			cc.compiles++
+			cc.compilesCtr.Inc()
 			c.schedEvent("compile", key)
-			return coll.Build(key, a), func() {}
+			return coll.Build(key, a), noRelease
 		}
-		ba := a.BufArgs()
-		e.sched.Rebind(e.args, ba)
-		e.args = ba
+		// Flatten into the entry's scratch, rebind, then swap scratch and
+		// args: no allocation once both lists have grown to the shape's
+		// region count. The old regions are zeroed so the vacated list does
+		// not retain the previous invocation's buffers.
+		a.BufArgsInto(&e.scratch)
+		e.sched.Rebind(e.args, e.scratch)
+		e.args, e.scratch = e.scratch, e.args
+		clearBufArgs(&e.scratch)
 		e.inUse = true
-		c.cache.hits++
-		c.met.Counter(trace.CtrSchedHits).Inc()
+		cc.hits++
+		cc.hitsCtr.Inc()
 		c.schedEvent("rebind", key)
-		return e.sched, func() { e.inUse = false }
+		return e.sched, e.release
 	}
 	e := &schedEntry{sched: coll.Build(key, a), args: a.BufArgs(), inUse: true}
-	c.cache.entries[key] = e
-	c.cache.compiles++
-	c.met.Counter(trace.CtrSchedCompiles).Inc()
+	e.release = func() { e.inUse = false }
+	cc.entries[key] = e
+	cc.compiles++
+	cc.compilesCtr.Inc()
 	c.schedEvent("compile", key)
-	return e.sched, func() { e.inUse = false }
+	return e.sched, e.release
+}
+
+// clearBufArgs drops a flattened region list's references (keeping
+// capacity) so swapped-out scratch stops pinning caller buffers.
+func clearBufArgs(ba *coll.BufArgs) {
+	for i := range ba.Bytes {
+		ba.Bytes[i] = nil
+	}
+	for i := range ba.F64 {
+		ba.F64[i] = nil
+	}
+	ba.Bytes = ba.Bytes[:0]
+	ba.F64 = ba.F64[:0]
+	ba.Op = nil
 }
 
 // SchedCacheStats reports how many schedules this communicator compiled and
@@ -94,4 +137,25 @@ func (c *Comm) SchedCacheStats() (compiles, hits int64) {
 		return 0, 0
 	}
 	return c.cache.compiles, c.cache.hits
+}
+
+// PoolStats reports this rank's hot-path free-list effectiveness alongside
+// SchedCacheStats: request- and op-pool hits/misses plus the peak number of
+// CH3 requests concurrently in flight.
+type PoolStats struct {
+	ReqHits, ReqMisses int64
+	OpHits, OpMisses   int64
+	ReqInFlightPeak    int64
+}
+
+// PoolStats snapshots the rank's pool counters (registered by Run on the
+// same registry the schedule-cache counters live in).
+func (c *Comm) PoolStats() PoolStats {
+	return PoolStats{
+		ReqHits:         c.met.Counter(trace.CtrReqPoolHits).Value(),
+		ReqMisses:       c.met.Counter(trace.CtrReqPoolMisses).Value(),
+		OpHits:          c.met.Counter(trace.CtrOpPoolHits).Value(),
+		OpMisses:        c.met.Counter(trace.CtrOpPoolMisses).Value(),
+		ReqInFlightPeak: c.met.Gauge(trace.GaugeReqsInFlight).Peak(),
+	}
 }

@@ -310,14 +310,17 @@ func (c *Comm) IreduceScatterF64(x, recv []float64, counts []int, op coll.Op) *R
 // in flight compiles a throwaway schedule.
 
 // nbcTransport adapts the CH3 layer to the nbc engine on the nbc context.
+// The engine registers exactly one completion callback per transfer and
+// never touches the request afterwards, so the pooled (transient-request)
+// entry points apply.
 type nbcTransport struct{ c *Comm }
 
 func (t nbcTransport) Isend(proc *vtime.Proc, dst int, tag int32, data []byte) nbc.Req {
-	return t.c.p.Isend(proc, t.c.world(dst), tag, t.c.nbcCtx, data)
+	return t.c.p.IsendPooled(proc, t.c.world(dst), tag, t.c.nbcCtx, data)
 }
 
 func (t nbcTransport) Irecv(proc *vtime.Proc, src int, tag int32, buf []byte) nbc.Req {
-	return t.c.p.Irecv(proc, t.c.world(src), tag, t.c.nbcCtx, buf)
+	return t.c.p.IrecvPooled(proc, t.c.world(src), tag, t.c.nbcCtx, buf)
 }
 
 func (c *Comm) nbcStart(op coll.OpKind, a coll.Args) *Request {
@@ -334,11 +337,23 @@ func (c *Comm) nbcStartViews(op coll.OpKind, a coll.Args) *Request {
 // nbcStartSched hands a compiled schedule to the nonblocking engine;
 // release (nil for uncached schedules) runs when the operation completes.
 func (c *Comm) nbcStartSched(s *coll.Schedule, release func()) *Request {
+	op := c.engine().StartDone(c.proc, s, release)
+	// No yield separates StartDone returning and the Gen read, so the
+	// generation observed is the started op's even if it already completed
+	// (and was recycled) synchronously.
+	return &Request{c: c, op: op, opGen: op.Gen()}
+}
+
+// engine returns the communicator's schedule engine, created lazily.
+func (c *Comm) engine() *nbc.Engine {
 	if c.nbcEng == nil {
 		c.nbcEng = nbc.NewEngine(c.mgr, nbcTransport{c})
 		c.nbcEng.Instrument(c.rec, c.met)
+		if c.cfg.NoPooling {
+			c.nbcEng.DisablePooling()
+		}
 	}
-	return &Request{c: c, op: c.nbcEng.StartDone(c.proc, s, release)}
+	return c.nbcEng
 }
 
 // Ibarrier starts a nonblocking barrier.

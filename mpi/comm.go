@@ -33,6 +33,11 @@ type Request struct {
 	st *Status      // self-op status (set on completion)
 	ok *bool        // self-op completion flag
 
+	// opGen pins the collective op's acquisition generation: completed ops
+	// recycle inside the engine, so completion is read through DoneGen,
+	// which stays correct after the struct is reused for another start.
+	opGen uint64
+
 	// Self-receive matching state.
 	selfTag int32
 	selfCtx int32
@@ -42,7 +47,7 @@ type Request struct {
 // Done reports completion.
 func (q *Request) Done() bool {
 	if q.op != nil {
-		return q.op.Done()
+		return q.op.DoneGen(q.opGen)
 	}
 	if q.r != nil {
 		return q.r.Done()
@@ -315,7 +320,9 @@ func (c *Comm) selfIsend(tag, ctx int32, data []byte) *Request {
 	// Try pending self receives first (FIFO).
 	for i, rq := range c.selfRecvs {
 		if rq.matchSelf(tag, ctx) {
-			c.selfRecvs = append(c.selfRecvs[:i], c.selfRecvs[i+1:]...)
+			copy(c.selfRecvs[i:], c.selfRecvs[i+1:])
+			c.selfRecvs[len(c.selfRecvs)-1] = nil // drop the tail reference
+			c.selfRecvs = c.selfRecvs[:len(c.selfRecvs)-1]
 			rq.completeSelf(c.rank, tag, cp)
 			return q
 		}
@@ -340,7 +347,9 @@ func (c *Comm) selfIrecv(tag, ctx int32, buf []byte) *Request {
 	q := &Request{c: c, ok: &done, st: &st, selfTag: tag, selfCtx: ctx, selfBuf: buf}
 	for i, m := range c.selfSends {
 		if m.ctx == ctx && (tag == int32(AnyTag) || tag == m.tag) {
-			c.selfSends = append(c.selfSends[:i], c.selfSends[i+1:]...)
+			copy(c.selfSends[i:], c.selfSends[i+1:])
+			c.selfSends[len(c.selfSends)-1] = selfMsg{} // drop the tail's payload
+			c.selfSends = c.selfSends[:len(c.selfSends)-1]
 			q.completeSelf(c.rank, m.tag, m.data)
 			return q
 		}

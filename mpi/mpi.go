@@ -136,6 +136,11 @@ type Config struct {
 	// identical either way; the switch exists for verification and
 	// benchmarking.
 	NoSchedCache bool
+	// NoPooling disables the hot-path free lists (CH3 requests, shm jobs,
+	// nbc ops): every operation allocates fresh. Virtual-time results are
+	// identical either way; the switch exists for neutrality verification
+	// and allocation benchmarking.
+	NoPooling bool
 	// Trace, when set, records a deterministic virtual-time event trace of
 	// the run (MPI entry points, protocol phases, progress passes,
 	// collective rounds). Create with trace.New(); export afterwards with
@@ -186,6 +191,11 @@ type CounterSnapshot struct {
 	NbcStarted    int64         `json:"nbc_started"`
 	NbcCompleted  int64         `json:"nbc_completed"`
 	NbcBGRounds   int64         `json:"nbc_bg_rounds"`
+	ReqPoolHits   int64         `json:"req_pool_hits"`
+	ReqPoolMisses int64         `json:"req_pool_misses"`
+	OpPoolHits    int64         `json:"op_pool_hits"`
+	OpPoolMisses  int64         `json:"op_pool_misses"`
+	ReqInFlight   int64         `json:"req_in_flight_peak"`
 	Rails         []RailCounter `json:"rails,omitempty"`
 }
 
@@ -203,6 +213,11 @@ func (rep *Report) Counters() *CounterSnapshot {
 		NbcStarted:    m.Total(trace.CtrNbcStarted),
 		NbcCompleted:  m.Total(trace.CtrNbcCompleted),
 		NbcBGRounds:   m.Total(trace.CtrNbcBGRounds),
+		ReqPoolHits:   m.Total(trace.CtrReqPoolHits),
+		ReqPoolMisses: m.Total(trace.CtrReqPoolMisses),
+		OpPoolHits:    m.Total(trace.CtrOpPoolHits),
+		OpPoolMisses:  m.Total(trace.CtrOpPoolMisses),
+		ReqInFlight:   m.GaugePeak(trace.GaugeReqsInFlight),
 	}
 	if n := cs.SchedCompiles + cs.SchedHits; n > 0 {
 		cs.CacheHitRate = float64(cs.SchedHits) / float64(n)
@@ -308,6 +323,8 @@ func Run(cfg Config, main func(*Comm)) (*Report, error) {
 		}
 		ch3Cfg := cfg.Stack.CH3
 		ch3Cfg.Rec = recs[r]
+		ch3Cfg.Metrics = met.Rank(r)
+		ch3Cfg.NoPooling = cfg.NoPooling
 		procs[r] = ch3.NewProcess(e, r, cfg.NP, mgrs[r], eps[r], same, ch3Cfg)
 	}
 
