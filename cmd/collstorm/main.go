@@ -10,6 +10,21 @@
 // largest swept depth, i.e. matching and pooling are O(1) per op, not
 // O(in-flight). -json emits machine-readable rows for the perf trajectory
 // (BENCH_collstorm.json).
+//
+// Sweeps beyond depth:
+//
+//   - -workers runs every depth under each PIOMan worker count (multi-worker
+//     background progression), reporting how host throughput scales with
+//     progression parallelism at depth.
+//   - -npsweep appends a rank-count sweep at a fixed depth (-npdepth),
+//     growing the cluster at 8 cores per node past the two-node testbed.
+//   - -reps repeats each configuration, interleaved round-robin so host
+//     drift spreads evenly, and keeps the median-throughput run: single
+//     measurements on a shared host are noisy, and the virtual side of a
+//     configuration is bit-identical across repetitions anyway.
+//   - -maxallocs exits nonzero when any row's cached-steady-state allocs/op
+//     (batches after the first, pools primed) exceeds the bound — the CI
+//     allocation-regression gate.
 package main
 
 import (
@@ -18,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -25,52 +41,88 @@ import (
 	"repro/cluster"
 )
 
-// row is one measurement at one in-flight depth, JSON-shaped for
+// row is one measurement at one configuration, JSON-shaped for
 // BENCH_collstorm.json.
 type row struct {
 	Stack    string `json:"stack"`
 	NP       int    `json:"np"`
 	Splits   int    `json:"splits"`
 	Batches  int    `json:"batches"`
+	Workers  int    `json:"workers"`
 	InFlight int    `json:"in_flight"`
 	bench.CollStormResult
 }
 
 func main() {
-	np := flag.Int("np", 8, "number of ranks (round-robin placed over two nodes)")
+	np := flag.Int("np", 8, "number of ranks (round-robin placed, 8 cores per node)")
 	splits := flag.Int("splits", 3, "sibling Split communicators per rank")
 	inflight := flag.String("inflight", "100,1000,5000",
 		"comma-separated total in-flight op depths to sweep")
 	batches := flag.Int("batches", 4, "window refills per depth")
 	pioman := flag.Bool("pioman", true, "run under the PIOMan background-progress regime")
+	workers := flag.String("workers", "1",
+		"comma-separated PIOMan worker counts to sweep at each depth")
+	npSweep := flag.String("npsweep", "",
+		"comma-separated rank counts for an extra NP sweep at -npdepth (e.g. 4,8,16,32)")
+	npDepth := flag.Int("npdepth", 1000, "in-flight depth the -npsweep rows run at")
+	reps := flag.Int("reps", 1,
+		"repetitions per configuration, interleaved; the median-throughput run is kept")
+	maxAllocs := flag.Float64("maxallocs", 0,
+		"fail (exit 1) if any row's cached allocs/op exceeds this bound (0 = off)")
 	jsonOut := flag.Bool("json", false, "emit JSON rows instead of the table")
 	flag.Parse()
 
-	var depths []int
-	for _, f := range strings.Split(*inflight, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || n <= 0 {
-			log.Fatalf("bad in-flight depth %q", f)
-		}
-		depths = append(depths, n)
-	}
+	depths := intList(*inflight, "in-flight depth")
+	workerCounts := intList(*workers, "worker count")
 	stack := cluster.MPICH2NmadIB()
 	if *pioman {
 		stack = stack.WithPIOMan(true)
 	}
 
-	var rows []row
+	type config struct{ np, depth, workers int }
+	var cfgs []config
 	for _, depth := range depths {
-		r, err := bench.CollStormOnce(stack, bench.CollStormOptions{
-			NP: *np, Splits: *splits, InFlight: depth, Batches: *batches,
-		})
-		if err != nil {
-			log.Fatalf("collstorm depth %d: %v", depth, err)
+		for _, w := range workerCounts {
+			cfgs = append(cfgs, config{*np, depth, w})
 		}
-		rows = append(rows, row{
-			Stack: stack.Name, NP: *np, Splits: *splits, Batches: *batches,
-			InFlight: r.InFlight, CollStormResult: r,
-		})
+	}
+	npRows := 0
+	if *npSweep != "" {
+		for _, n := range intList(*npSweep, "np") {
+			cfgs = append(cfgs, config{n, *npDepth, workerCounts[0]})
+			npRows++
+		}
+	}
+
+	// Repetitions are interleaved round-robin over the configurations (rep-
+	// major, not config-major) so host-state drift across a long sweep (heap
+	// growth, allocator reuse) spreads evenly over the rows instead of
+	// penalizing whichever configuration happens to run later. Each row
+	// reports its median-throughput repetition: at several percent of host
+	// noise the fastest-of-N is biased by lucky scheduling windows, while
+	// the median is stable. The virtual side is bit-identical across
+	// repetitions, so only the host-time fields differ.
+	runs := make([][]bench.CollStormResult, len(cfgs))
+	for i := 0; i < *reps; i++ {
+		for k, c := range cfgs {
+			r, err := bench.CollStormOnce(stack, bench.CollStormOptions{
+				NP: c.np, Splits: *splits, InFlight: c.depth, Batches: *batches, Workers: c.workers,
+			})
+			if err != nil {
+				log.Fatalf("collstorm np=%d depth=%d workers=%d: %v", c.np, c.depth, c.workers, err)
+			}
+			runs[k] = append(runs[k], r)
+		}
+	}
+	rows := make([]row, len(cfgs))
+	for k, c := range cfgs {
+		rs := runs[k]
+		sort.Slice(rs, func(a, b int) bool { return rs[a].OpsPerSec < rs[b].OpsPerSec })
+		med := rs[len(rs)/2]
+		rows[k] = row{
+			Stack: stack.Name, NP: c.np, Splits: *splits, Batches: *batches,
+			Workers: c.workers, InFlight: med.InFlight, CollStormResult: med,
+		}
 	}
 
 	if *jsonOut {
@@ -79,23 +131,32 @@ func main() {
 		if err := enc.Encode(rows); err != nil {
 			log.Fatal(err)
 		}
+		checkAllocs(rows, *maxAllocs)
 		return
 	}
 
-	fmt.Printf("collective storm (np=%d, %d splits, %d batches, %s)\n\n",
-		*np, *splits, *batches, stack.Name)
-	fmt.Printf("%10s %10s %12s %12s %12s %10s %22s\n",
-		"in-flight", "ops", "ops/sec", "ns/op", "allocs/op", "req-peak", "pools req/op hit%")
+	fmt.Printf("collective storm (%d splits, %d batches, %s)\n\n",
+		*splits, *batches, stack.Name)
+	fmt.Printf("%4s %4s %10s %10s %12s %12s %12s %10s %22s\n",
+		"np", "wrk", "in-flight", "ops", "ops/sec", "ns/op", "allocs/op", "req-peak", "pools req/op hit%")
 	for _, r := range rows {
 		cs := r.Counters
 		reqPct := pct(cs.ReqPoolHits, cs.ReqPoolMisses)
 		opPct := pct(cs.OpPoolHits, cs.OpPoolMisses)
-		fmt.Printf("%10d %10d %12.0f %12.0f %12.1f %10d %12s/%-8s\n",
-			r.InFlight, r.Ops, r.OpsPerSec, r.NsPerOp, r.AllocsPerOp,
+		fmt.Printf("%4d %4d %10d %10d %12.0f %12.0f %12.1f %10d %12s/%-8s\n",
+			r.NP, r.Workers, r.InFlight, r.Ops, r.OpsPerSec, r.NsPerOp, r.AllocsPerOp,
 			cs.ReqInFlight, reqPct, opPct)
 	}
-	if len(rows) > 1 {
-		lo, hi := rows[0], rows[len(rows)-1]
+
+	// Depth-flatness verdict over the base-worker depth sweep.
+	var base []row
+	for _, r := range rows[:len(rows)-npRows] {
+		if r.Workers == workerCounts[0] {
+			base = append(base, r)
+		}
+	}
+	if len(base) > 1 {
+		lo, hi := base[0], base[len(base)-1]
 		ratio := hi.NsPerOp / lo.NsPerOp
 		verdict := "flat matching/pooling (within 2x)"
 		if ratio > 2 {
@@ -104,6 +165,51 @@ func main() {
 		fmt.Printf("\nper-op host time %d -> %d in flight: %.2fx — %s\n",
 			lo.InFlight, hi.InFlight, ratio, verdict)
 	}
+
+	// Worker-scaling verdict at the deepest swept window: the depth sweep's
+	// last block holds one row per worker count, all at depths[len-1].
+	if len(workerCounts) > 1 {
+		deep := rows[len(rows)-npRows-len(workerCounts) : len(rows)-npRows]
+		fmt.Printf("\nworker scaling at %d in flight (np=%d):\n", deep[0].InFlight, *np)
+		first := deep[0]
+		for _, r := range deep {
+			mark := ""
+			if r.Workers != first.Workers && first.OpsPerSec > 0 {
+				mark = fmt.Sprintf("  (%.2fx vs %d worker)", r.OpsPerSec/first.OpsPerSec, first.Workers)
+			}
+			fmt.Printf("  workers=%d: %10.0f ops/sec, virtual %.4fs, %d engine events%s\n",
+				r.Workers, r.OpsPerSec, r.VirtualS, r.Events, mark)
+		}
+	}
+	checkAllocs(rows, *maxAllocs)
+}
+
+// checkAllocs enforces the cached-steady-state allocation bound.
+func checkAllocs(rows []row, bound float64) {
+	if bound <= 0 {
+		return
+	}
+	for _, r := range rows {
+		if r.CachedAllocsPerOp > bound {
+			fmt.Fprintf(os.Stderr,
+				"collstorm: np=%d workers=%d depth=%d cached allocs/op %.1f exceeds bound %.1f\n",
+				r.NP, r.Workers, r.InFlight, r.CachedAllocsPerOp, bound)
+			os.Exit(1)
+		}
+	}
+}
+
+// intList parses a comma-separated list of positive ints.
+func intList(s, what string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			log.Fatalf("bad %s %q", what, f)
+		}
+		out = append(out, n)
+	}
+	return out
 }
 
 // pct formats a hit percentage from hit/miss counters.

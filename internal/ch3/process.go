@@ -134,6 +134,10 @@ type Process struct {
 	reqPoolMisses *trace.Counter
 	inFlight      *trace.Gauge
 
+	// shard is the progress-manager shard owning this process as a poll
+	// source; notifications that need the ANY_SOURCE probe route to it.
+	shard int
+
 	// Stats.
 	ShmEagerSends int64
 	ShmRdvSends   int64
@@ -188,10 +192,20 @@ func NewProcess(e *vtime.Engine, rank, size int, mgr *pioman.Manager,
 		shm.SetHandler(func(hdr shmq.Header, payload []byte) vtime.Duration {
 			return p.HandleArrival(hdr, payload, shmOrigin{})
 		})
-		shm.SetNotify(mgr.Notify)
-		mgr.Register(shm, pioman.ClassShm)
+		// Arrival notifications wake only the worker whose shard owns the
+		// shm source; the other workers have nothing new to poll.
+		shmShard := mgr.Register(shm, pioman.ClassShm)
+		shm.SetNotify(func() { mgr.NotifyShard(shmShard) })
+		// The job engine is pinned onto the endpoint's shard: the endpoint's
+		// notification is also the flow-control retry signal (a receiver
+		// freed a cell, so a stalled advanceJobs can push again), and
+		// arrival handling pushes CTS/rendezvous-data jobs that the next
+		// sweep iteration must advance. On any other shard those cascades
+		// would wake a worker that never polls the job engine.
+		p.shard = mgr.RegisterAt(p, pioman.ClassShm, shmShard)
+	} else {
+		p.shard = mgr.Register(p, pioman.ClassShm)
 	}
-	mgr.Register(p, pioman.ClassShm)
 	return p
 }
 
@@ -404,9 +418,9 @@ func (p *Process) irecv(proc *vtime.Proc, src int, tag, ctx int32, buf []byte, p
 			p.backend.PostRecvAny(r)
 			// A matching message may already sit in the library's buffers;
 			// only a progress pass (the ANY_SOURCE probe, §3.2.2) can marry
-			// them, so nudge the progress engine — essential under PIOMan,
-			// where nobody polls on the application thread.
-			p.Mgr.Notify()
+			// them, so nudge the worker polling this process — essential
+			// under PIOMan, where nobody polls on the application thread.
+			p.Mgr.NotifyShard(p.shard)
 		} else if remoteKnown && !central {
 			p.backend.PostRecv(r)
 		}

@@ -49,6 +49,13 @@ type Engine struct {
 
 	nextSeq int32
 
+	// shard is the progress-manager shard key all of this engine's deferred
+	// rounds and notifications route to (the owning communicator's context:
+	// one communicator's rounds stay on one worker's queue, and idle
+	// workers steal if that queue backs up). Zero — the default — is the
+	// classic single-worker behavior.
+	shard int
+
 	// free recycles completed Ops (see getOp/putOp); pooling can be turned
 	// off for neutrality verification.
 	free    []*Op
@@ -85,6 +92,11 @@ func (e *Engine) Instrument(rec *trace.Recorder, met *trace.Registry) {
 // DisablePooling makes every Start allocate a fresh Op (virtual-time results
 // are identical either way; the switch exists for neutrality verification).
 func (e *Engine) DisablePooling() { e.pooling = false }
+
+// SetShard keys the engine's deferred work for multi-worker progression:
+// mpi hands the owning communicator's collective context in. Call before
+// starting operations.
+func (e *Engine) SetShard(key int) { e.shard = key }
 
 // Started returns the number of operations started.
 func (e *Engine) Started() int64 { return e.started.Value() }
@@ -254,10 +266,11 @@ func (op *Op) transferDone() {
 		return
 	}
 	// Defer the next round's submission to the progress engine: under
-	// PIOMan the background thread executes it (submission offload,
-	// §2.2.3); otherwise it runs inside the next MPI call's progress pass.
-	op.eng.mgr.PostTask(pioman.Task{RunP: op.taskFn})
-	op.eng.mgr.Notify()
+	// PIOMan the worker owning this engine's shard executes it (submission
+	// offload, §2.2.3); otherwise it runs inside the next MPI call's
+	// progress pass.
+	op.eng.mgr.PostTaskShard(op.eng.shard, pioman.Task{RunP: op.taskFn})
+	op.eng.mgr.NotifyShard(op.eng.shard)
 }
 
 // finishRound runs the completed round's local prims and advances.
@@ -292,8 +305,8 @@ func (op *Op) complete() {
 	if op.eng.pooling {
 		op.eng.putOp(op)
 	}
-	// Wake anything blocked on the manager: under PIOMan the background
-	// thread re-broadcasts completion; without it Notify broadcasts the
-	// completion condition directly.
-	op.eng.mgr.Notify()
+	// Wake anything blocked on the manager. The op is done — no progression
+	// work remains — so multi-worker managers broadcast completion directly
+	// instead of paying a worker an empty sweep for the re-broadcast.
+	op.eng.mgr.Completed(op.eng.shard)
 }

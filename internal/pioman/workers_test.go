@@ -1,0 +1,144 @@
+package pioman
+
+import (
+	"testing"
+
+	"repro/internal/marcel"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// multiSetup builds an Enabled manager with nw workers, a metrics registry
+// and two registered net sources (round-robin shards 0 and 1).
+func multiSetup(nw int) (*vtime.Engine, *Manager, *trace.Registry, []*fakeSource) {
+	e := vtime.NewEngine()
+	node := marcel.NewNode(e, "n0", 8)
+	reg := trace.NewRegistry()
+	m := New(e, node, "p0", Config{Enabled: true, Workers: nw, Metrics: reg})
+	srcs := []*fakeSource{
+		{name: "s0", cost: 100},
+		{name: "s1", cost: 100},
+	}
+	for _, s := range srcs {
+		m.Register(s, ClassNet)
+	}
+	return e, m, reg, srcs
+}
+
+// TestWorkersClampedWhenDisabled: the Workers knob only multiplies
+// background procs, so the polling regime (and Workers<1) stays on the
+// single classic worker slot.
+func TestWorkersClampedWhenDisabled(t *testing.T) {
+	e := vtime.NewEngine()
+	node := marcel.NewNode(e, "n0", 4)
+	if got := New(e, node, "p0", Config{Workers: 4}).Workers(); got != 1 {
+		t.Fatalf("disabled manager has %d workers, want 1", got)
+	}
+	if got := New(e, node, "p1", Config{Enabled: true, Workers: 3}).Workers(); got != 3 {
+		t.Fatalf("enabled Workers=3 manager has %d workers, want 3", got)
+	}
+}
+
+// TestRegisterRoundRobinShards: sources land on consecutive shards so N
+// workers split the polling load.
+func TestRegisterRoundRobinShards(t *testing.T) {
+	e := vtime.NewEngine()
+	node := marcel.NewNode(e, "n0", 4)
+	m := New(e, node, "p0", Config{Enabled: true, Workers: 2})
+	got := []int{
+		m.Register(&fakeSource{name: "a"}, ClassNet),
+		m.Register(&fakeSource{name: "b"}, ClassShm),
+		m.Register(&fakeSource{name: "c"}, ClassNet),
+	}
+	want := []int{0, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registration %d assigned shard %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestShardedPollingSplitsSources: under Workers=2 each worker's sweep polls
+// only its own shard, and NotifyShard wakes only the owning worker.
+func TestShardedPollingSplitsSources(t *testing.T) {
+	e, m, reg, srcs := multiSetup(2)
+	e.At(0, func() {
+		srcs[1].pending = 1
+		m.NotifyShard(1)
+	})
+	e.At(10_000, func() { m.Stop() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.BgEvents(); got != 1 {
+		t.Fatalf("bg events = %d, want 1", got)
+	}
+	if p0 := reg.Counter(trace.CtrWorkerPolls(0)).Value(); p0 != 0 {
+		t.Errorf("worker 0 swept %d times on a shard-1 notify, want 0", p0)
+	}
+	if ev1 := reg.Counter(trace.CtrWorkerEvents(1)).Value(); ev1 != 1 {
+		t.Errorf("worker 1 handled %d events, want 1", ev1)
+	}
+	if srcs[0].polled != 0 {
+		t.Errorf("shard-0 source polled %d times by a shard-1 sweep, want 0", srcs[0].polled)
+	}
+}
+
+// TestStealRebalancesLoadedQueue: a storm of tasks keyed onto one shard blows
+// past stealMin; the other worker accepts the steal invitation and migrates
+// part of the queue, with both aggregate and per-worker counters recording it.
+func TestStealRebalancesLoadedQueue(t *testing.T) {
+	e, m, reg, _ := multiSetup(2)
+	const tasks = 3 * stealMin
+	ran := 0
+	e.At(0, func() {
+		for i := 0; i < tasks; i++ {
+			m.PostTaskShard(0, Task{Cost: 200, Run: func() { ran++ }})
+		}
+	})
+	e.At(1_000_000, func() { m.Stop() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != tasks {
+		t.Fatalf("ran %d tasks, want %d", ran, tasks)
+	}
+	if m.BgSteals() == 0 {
+		t.Fatal("no tasks were stolen from the loaded shard-0 queue")
+	}
+	if got := reg.Counter(trace.CtrWorkerSteals(1)).Value(); got != m.BgSteals() {
+		t.Errorf("worker 1 steals = %d, want all %d (only worker 1 was idle)", got, m.BgSteals())
+	}
+	t0 := reg.Counter(trace.CtrWorkerTasks(0)).Value()
+	t1 := reg.Counter(trace.CtrWorkerTasks(1)).Value()
+	if t0 == 0 || t1 == 0 || t0+t1 != tasks {
+		t.Errorf("task split %d/%d, want both nonzero summing to %d", t0, t1, tasks)
+	}
+}
+
+// TestMultiWorkerDeterminism: a fixed Workers count yields a bit-identical
+// schedule — same virtual finish, same per-worker counters — across runs.
+func TestMultiWorkerDeterminism(t *testing.T) {
+	run := func() (vtime.Time, int64, int64) {
+		e, m, reg, srcs := multiSetup(3)
+		e.At(0, func() {
+			for i := 0; i < 40; i++ {
+				shard := i
+				m.PostTaskShard(shard, Task{Cost: 150, Run: func() {}})
+			}
+			srcs[0].pending = 2
+			m.Notify()
+		})
+		e.At(500_000, func() { m.Stop() })
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now(), m.BgSteals(), reg.Counter(trace.CtrWorkerTasks(2)).Value()
+	}
+	aT, aS, aW := run()
+	bT, bS, bW := run()
+	if aT != bT || aS != bS || aW != bW {
+		t.Fatalf("multi-worker run not deterministic: (%d,%d,%d) != (%d,%d,%d)",
+			aT, aS, aW, bT, bS, bW)
+	}
+}

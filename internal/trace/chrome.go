@@ -26,13 +26,21 @@ func WriteChrome(w io.Writer, t *Trace) error {
 	}
 
 	// Metadata: name every rank's process and thread tracks up front so
-	// viewers label them before the first real event.
+	// viewers label them before the first real event. Tracks beyond the
+	// fixed four exist when multi-worker PIOMan ran (pioman-1, ...): scan
+	// the stream for the highest tid so every used track gets a name.
+	maxTid := len(tidNames) - 1
+	for i := range t.events {
+		if tid := t.events[i].Tid; tid > maxTid {
+			maxTid = tid
+		}
+	}
 	for rank := 0; rank < t.np; rank++ {
 		comma()
 		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":"rank%d"}}`, rank, rank)
-		for tid, tn := range tidNames {
+		for tid := 0; tid <= maxTid; tid++ {
 			comma()
-			fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"%s"}}`, rank, tid, tn)
+			fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"%s"}}`, rank, tid, TidName(tid))
 		}
 	}
 

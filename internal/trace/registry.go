@@ -1,6 +1,9 @@
 package trace
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Counter is one named monotone statistic. Counters are live whether or
 // not event tracing is enabled — they replace the subsystems' ad-hoc int64
@@ -219,6 +222,7 @@ const (
 	CtrBgPolls   = "pioman.bg_polls"
 	CtrBgEvents  = "pioman.bg_events"
 	CtrBgTasks   = "pioman.bg_tasks"
+	CtrBgSteals  = "pioman.bg_steals"
 
 	CtrNbcStarted   = "nbc.ops_started"
 	CtrNbcCompleted = "nbc.ops_completed"
@@ -239,6 +243,21 @@ const (
 // not yet completed on one rank. Its peak is the per-rank high-water mark
 // of concurrent in-flight traffic.
 const GaugeReqsInFlight = "ch3.reqs_in_flight"
+
+// GaugeWorkers names the PIOMan worker-count gauge: incremented once per
+// spawned background progression worker, so its peak is the per-rank worker
+// count (0 in the polling regime) — consumers size per-worker breakdowns
+// from it.
+const GaugeWorkers = "pioman.workers"
+
+// CtrWorkerPolls / CtrWorkerEvents / CtrWorkerTasks / CtrWorkerSteals name
+// one PIOMan worker's sweep statistics: background sweeps performed, events
+// those sweeps handled, deferred tasks it ran, and tasks it stole from
+// loaded sibling queues.
+func CtrWorkerPolls(i int) string  { return fmt.Sprintf("pioman.worker%d.polls", i) }
+func CtrWorkerEvents(i int) string { return fmt.Sprintf("pioman.worker%d.events", i) }
+func CtrWorkerTasks(i int) string  { return fmt.Sprintf("pioman.worker%d.tasks", i) }
+func CtrWorkerSteals(i int) string { return fmt.Sprintf("pioman.worker%d.steals", i) }
 
 // RailPacketsCtr / RailBytesCtr name one rail's run-level traffic counters.
 func RailPacketsCtr(rail string) string { return "rail." + rail + ".packets" }

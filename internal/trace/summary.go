@@ -24,6 +24,11 @@ type Summary struct {
 	BgPolls   int64 `json:"bg_polls"`
 	BgEvents  int64 `json:"bg_events"`
 	BgTasks   int64 `json:"bg_tasks"`
+	BgSteals  int64 `json:"bg_steals"`
+
+	// Workers breaks background progression down per PIOMan worker
+	// (cross-rank totals; present when the run used the Enabled regime).
+	Workers []WorkerStat `json:"workers,omitempty"`
 
 	// Schedule-cache effectiveness.
 	SchedCompiles int64   `json:"sched_compiles"`
@@ -50,6 +55,16 @@ type Summary struct {
 	// Counters is the full sorted counter snapshot (rank totals plus the
 	// run-level registry: rail traffic lives here).
 	Counters []NamedValue `json:"counters,omitempty"`
+}
+
+// WorkerStat is one PIOMan worker's background-progression breakdown,
+// summed across ranks (worker i of every rank contributes to entry i).
+type WorkerStat struct {
+	Worker int   `json:"worker"`
+	Polls  int64 `json:"polls"`
+	Events int64 `json:"events"`
+	Tasks  int64 `json:"tasks"`
+	Steals int64 `json:"steals"`
 }
 
 // RoundTiming aggregates one op/algorithm's executed rounds.
@@ -81,6 +96,16 @@ func Summarize(t *Trace) *Summary {
 		s.BgPolls = m.Total(CtrBgPolls)
 		s.BgEvents = m.Total(CtrBgEvents)
 		s.BgTasks = m.Total(CtrBgTasks)
+		s.BgSteals = m.Total(CtrBgSteals)
+		for i := 0; i < int(m.GaugePeak(GaugeWorkers)); i++ {
+			s.Workers = append(s.Workers, WorkerStat{
+				Worker: i,
+				Polls:  m.Total(CtrWorkerPolls(i)),
+				Events: m.Total(CtrWorkerEvents(i)),
+				Tasks:  m.Total(CtrWorkerTasks(i)),
+				Steals: m.Total(CtrWorkerSteals(i)),
+			})
+		}
 		s.SchedCompiles = m.Total(CtrSchedCompiles)
 		s.SchedHits = m.Total(CtrSchedHits)
 		if n := s.SchedCompiles + s.SchedHits; n > 0 {
@@ -203,8 +228,15 @@ func intersectIvals(a, b []ival) float64 {
 // WriteText renders the summary human-readably.
 func (s *Summary) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "trace summary: %d events over %d ranks\n", s.Events, s.Ranks)
-	fmt.Fprintf(w, "  progress: app %d polls / %d events, background %d polls / %d events / %d tasks\n",
-		s.AppPolls, s.AppEvents, s.BgPolls, s.BgEvents, s.BgTasks)
+	fmt.Fprintf(w, "  progress: app %d polls / %d events, background %d polls / %d events / %d tasks / %d steals\n",
+		s.AppPolls, s.AppEvents, s.BgPolls, s.BgEvents, s.BgTasks, s.BgSteals)
+	if len(s.Workers) > 0 {
+		fmt.Fprintf(w, "  pioman workers:\n")
+		for _, ws := range s.Workers {
+			fmt.Fprintf(w, "    worker %-3d %8d polls %8d events %8d tasks %8d steals\n",
+				ws.Worker, ws.Polls, ws.Events, ws.Tasks, ws.Steals)
+		}
+	}
 	fmt.Fprintf(w, "  schedule cache: %d compiles, %d hits (%.0f%% hit rate)\n",
 		s.SchedCompiles, s.SchedHits, 100*s.CacheHitRate)
 	if s.ReqPoolHits+s.ReqPoolMisses+s.OpPoolHits+s.OpPoolMisses > 0 {

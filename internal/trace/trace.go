@@ -32,7 +32,8 @@ import (
 const (
 	// TidApp is the application thread (the rank's MPI program).
 	TidApp = 0
-	// TidPioman is the PIOMan background progress thread.
+	// TidPioman is PIOMan progress worker 0 (track name "pioman-0").
+	// Additional workers get the tracks after TidRounds — see TidPiomanN.
 	TidPioman = 1
 	// TidEngine collects work performed in engine context (event
 	// callbacks: NIC completions, visibility timers) with no proc running.
@@ -43,8 +44,28 @@ const (
 	TidRounds = 3
 )
 
-// tidNames maps track ids to the thread names the Chrome export declares.
-var tidNames = [...]string{"app", "pioman", "engine", "rounds"}
+// tidNames maps the fixed track ids to the thread names the Chrome export
+// declares; worker tracks beyond these derive their names in TidName.
+var tidNames = [...]string{"app", "pioman-0", "engine", "rounds"}
+
+// TidPiomanN returns the thread-track id of PIOMan progress worker i:
+// worker 0 keeps the classic TidPioman slot, workers 1..N-1 take the ids
+// after the fixed tracks so existing attributions never shift.
+func TidPiomanN(i int) int {
+	if i == 0 {
+		return TidPioman
+	}
+	return TidRounds + i
+}
+
+// TidName returns the display name of a thread-track id, including the
+// dynamic per-worker tracks ("pioman-1", "pioman-2", ...).
+func TidName(tid int) string {
+	if tid >= 0 && tid < len(tidNames) {
+		return tidNames[tid]
+	}
+	return fmt.Sprintf("pioman-%d", tid-TidRounds)
+}
 
 // Arg is one ordered key/value event argument. Ordered slices (never maps)
 // keep the export byte-deterministic.

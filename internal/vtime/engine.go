@@ -106,6 +106,13 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// Events returns the total number of events scheduled so far. For a fixed
+// configuration the count is bit-identical across runs, which makes it a
+// deterministic proxy for host-side simulation work (every wakeup, sleep and
+// timer is one event) — useful for comparing configurations without
+// wall-clock noise.
+func (e *Engine) Events() int64 { return e.seq }
+
 // Current returns the proc presently executing simulation code, or nil when
 // the engine is running an event callback (timer, NIC completion) with no
 // proc scheduled. Observability layers use it to attribute work to threads.
@@ -273,8 +280,27 @@ func (p *Proc) block(reason string) {
 // callers should re-check their predicate in a loop.
 type Cond struct {
 	e       *Engine
-	waiters []*Proc
+	waiters []condWaiter
 	reason  string
+	delay   Duration
+}
+
+// condWaiter is one blocked process; pred, when set, gates its wakeups.
+type condWaiter struct {
+	p    *Proc
+	pred func() bool
+}
+
+// SetWakeDelay makes every future Signal/Broadcast wake this cond's waiters
+// at now+d instead of now. A waiter that blocks and is then woken reaches
+// the post-Wait code at the same virtual instant as a zero-delay wake
+// followed by Sleep(d), but costs one scheduled event instead of two — the
+// PIOMan workers use it to fold their reaction delay into the wakeup.
+func (c *Cond) SetWakeDelay(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.delay = d
 }
 
 // NewCond returns a condition bound to engine e; reason appears in deadlock
@@ -285,27 +311,52 @@ func NewCond(e *Engine, reason string) *Cond {
 
 // Wait blocks p until the next Signal or Broadcast.
 func (c *Cond) Wait(p *Proc) {
-	c.waiters = append(c.waiters, p)
+	c.waiters = append(c.waiters, condWaiter{p: p})
 	p.block(c.reason)
 }
 
-// Broadcast wakes every current waiter at the present virtual time.
-func (c *Cond) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, p := range ws {
-		c.e.wake(p, c.e.now)
-	}
+// WaitPred blocks p until a Signal or Broadcast arriving while pred() is
+// true. The predicate runs in the waker's host context before any wake is
+// scheduled: a broadcast that cannot satisfy the waiter skips it entirely —
+// no event, no context switch — so a thread blocked on an N-part condition
+// wakes once instead of N times. This mirrors the completion counters real
+// MPI implementations use to wake MPI_Wait exactly once. pred must be cheap,
+// must not touch virtual time, and — as with Wait — the caller should
+// re-check it in a loop. Its state may only change through actions that
+// are themselves followed by a Signal or Broadcast, else the waiter is
+// never woken.
+func (c *Cond) WaitPred(p *Proc, pred func() bool) {
+	c.waiters = append(c.waiters, condWaiter{p: p, pred: pred})
+	p.block(c.reason)
 }
 
-// Signal wakes the longest-waiting process, if any.
+// Broadcast wakes every current waiter at the present virtual time, except
+// predicate waiters whose predicate is false — those stay blocked.
+func (c *Cond) Broadcast() {
+	kept := c.waiters[:0]
+	for _, w := range c.waiters {
+		if w.pred != nil && !w.pred() {
+			kept = append(kept, w)
+			continue
+		}
+		c.e.wake(w.p, c.e.now.Add(c.delay))
+	}
+	// Zero the vacated tail so woken waiters' closures are collectable.
+	for i := len(kept); i < len(c.waiters); i++ {
+		c.waiters[i] = condWaiter{}
+	}
+	c.waiters = kept
+}
+
+// Signal wakes the longest-waiting process, if any. Predicate waiters are
+// woken regardless of their predicate's state (they re-check and re-wait).
 func (c *Cond) Signal() {
 	if len(c.waiters) == 0 {
 		return
 	}
-	p := c.waiters[0]
+	w := c.waiters[0]
 	c.waiters = c.waiters[1:]
-	c.e.wake(p, c.e.now)
+	c.e.wake(w.p, c.e.now.Add(c.delay))
 }
 
 // Waiters reports how many processes are blocked on c.

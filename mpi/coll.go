@@ -349,6 +349,11 @@ func (c *Comm) engine() *nbc.Engine {
 	if c.nbcEng == nil {
 		c.nbcEng = nbc.NewEngine(c.mgr, nbcTransport{c})
 		c.nbcEng.Instrument(c.rec, c.met)
+		// Shard deferred rounds by the communicator's collective context —
+		// the stable key multi-worker progression distributes queues by
+		// (sibling communicators land on different workers; a storm on one
+		// communicator spreads via stealing).
+		c.nbcEng.SetShard(int(c.nbcCtx))
 		if c.cfg.NoPooling {
 			c.nbcEng.DisablePooling()
 		}

@@ -240,13 +240,18 @@ func (c *Comm) Wait(q *Request) Status {
 // WaitAll blocks until every request completes.
 func (c *Comm) WaitAll(qs ...*Request) {
 	defer c.span("WaitAll", trace.Int64("n", int64(len(qs))))()
+	// The predicate re-runs on every completion broadcast while blocked. A
+	// cursor makes the re-checks amortized O(1): completed requests stay
+	// completed, so the scan resumes at the first request not yet seen done
+	// instead of walking the whole window each wake — with thousands of
+	// outstanding requests and per-sweep wakeups the full rescan dominates
+	// host time.
+	i := 0
 	c.mgr.WaitUntil(c.proc, func() bool {
-		for _, q := range qs {
-			if q != nil && !q.Done() {
-				return false
-			}
+		for i < len(qs) && (qs[i] == nil || qs[i].Done()) {
+			i++
 		}
-		return true
+		return i == len(qs)
 	})
 }
 

@@ -141,6 +141,9 @@ type Config struct {
 	// identical either way; the switch exists for neutrality verification
 	// and allocation benchmarking.
 	NoPooling bool
+	// Pioman tunes background progression beyond the stack's regime
+	// defaults. The zero value is the classic single-worker behavior.
+	Pioman PiomanConfig
 	// Trace, when set, records a deterministic virtual-time event trace of
 	// the run (MPI entry points, protocol phases, progress passes,
 	// collective rounds). Create with trace.New(); export afterwards with
@@ -148,6 +151,18 @@ type Config struct {
 	// run. Tracing is behavior-neutral: virtual-time results are identical
 	// with it on or off.
 	Trace *trace.Trace
+}
+
+// PiomanConfig tunes the PIOMan progress engine.
+type PiomanConfig struct {
+	// Workers is the number of background progression workers per rank
+	// (0 and 1 both mean the classic single worker). Each worker is its own
+	// simulated thread (trace tracks pioman-0..N-1): sources and deferred
+	// collective rounds are sharded across workers by registration order
+	// and communicator context, and idle workers steal from loaded queues.
+	// Requires a stack with PIOMan enabled when > 1 — the polling regime
+	// has no background procs to multiply.
+	Workers int
 }
 
 // RailStat summarizes one rail's traffic after a run.
@@ -161,6 +176,10 @@ type RailStat struct {
 type Report struct {
 	// Seconds is the virtual time at which the simulation drained.
 	Seconds float64
+	// Events is the total number of simulation events the engine scheduled:
+	// a deterministic (noise-free) proxy for host-side work, bit-identical
+	// across repetitions of the same configuration.
+	Events int64
 	// Rails holds per-rail traffic statistics.
 	Rails []RailStat
 	// Metrics holds the run's counter registries (always populated): per-rank
@@ -180,23 +199,36 @@ type RailCounter struct {
 // app/background poll split, nonblocking-collective activity and per-rail
 // traffic.
 type CounterSnapshot struct {
-	SchedCompiles int64         `json:"sched_compiles"`
-	SchedHits     int64         `json:"sched_hits"`
-	CacheHitRate  float64       `json:"cache_hit_rate"`
-	AppPolls      int64         `json:"app_polls"`
-	AppEvents     int64         `json:"app_events"`
-	BgPolls       int64         `json:"bg_polls"`
-	BgEvents      int64         `json:"bg_events"`
-	BgTasks       int64         `json:"bg_tasks"`
-	NbcStarted    int64         `json:"nbc_started"`
-	NbcCompleted  int64         `json:"nbc_completed"`
-	NbcBGRounds   int64         `json:"nbc_bg_rounds"`
-	ReqPoolHits   int64         `json:"req_pool_hits"`
-	ReqPoolMisses int64         `json:"req_pool_misses"`
-	OpPoolHits    int64         `json:"op_pool_hits"`
-	OpPoolMisses  int64         `json:"op_pool_misses"`
-	ReqInFlight   int64         `json:"req_in_flight_peak"`
-	Rails         []RailCounter `json:"rails,omitempty"`
+	SchedCompiles int64   `json:"sched_compiles"`
+	SchedHits     int64   `json:"sched_hits"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	AppPolls      int64   `json:"app_polls"`
+	AppEvents     int64   `json:"app_events"`
+	BgPolls       int64   `json:"bg_polls"`
+	BgEvents      int64   `json:"bg_events"`
+	BgTasks       int64   `json:"bg_tasks"`
+	BgSteals      int64   `json:"bg_steals"`
+	NbcStarted    int64   `json:"nbc_started"`
+	NbcCompleted  int64   `json:"nbc_completed"`
+	NbcBGRounds   int64   `json:"nbc_bg_rounds"`
+	ReqPoolHits   int64   `json:"req_pool_hits"`
+	ReqPoolMisses int64   `json:"req_pool_misses"`
+	OpPoolHits    int64   `json:"op_pool_hits"`
+	OpPoolMisses  int64   `json:"op_pool_misses"`
+	ReqInFlight   int64   `json:"req_in_flight_peak"`
+	// Workers breaks background progression down per PIOMan worker
+	// (cross-rank totals; empty for polling-regime runs).
+	Workers []WorkerCounter `json:"workers,omitempty"`
+	Rails   []RailCounter   `json:"rails,omitempty"`
+}
+
+// WorkerCounter is one PIOMan worker's cross-rank sweep statistics.
+type WorkerCounter struct {
+	Worker int   `json:"worker"`
+	Polls  int64 `json:"polls"`
+	Events int64 `json:"events"`
+	Tasks  int64 `json:"tasks"`
+	Steals int64 `json:"steals"`
 }
 
 // Counters snapshots the report's metrics registries.
@@ -210,6 +242,7 @@ func (rep *Report) Counters() *CounterSnapshot {
 		BgPolls:       m.Total(trace.CtrBgPolls),
 		BgEvents:      m.Total(trace.CtrBgEvents),
 		BgTasks:       m.Total(trace.CtrBgTasks),
+		BgSteals:      m.Total(trace.CtrBgSteals),
 		NbcStarted:    m.Total(trace.CtrNbcStarted),
 		NbcCompleted:  m.Total(trace.CtrNbcCompleted),
 		NbcBGRounds:   m.Total(trace.CtrNbcBGRounds),
@@ -221,6 +254,15 @@ func (rep *Report) Counters() *CounterSnapshot {
 	}
 	if n := cs.SchedCompiles + cs.SchedHits; n > 0 {
 		cs.CacheHitRate = float64(cs.SchedHits) / float64(n)
+	}
+	for i := 0; i < int(m.GaugePeak(trace.GaugeWorkers)); i++ {
+		cs.Workers = append(cs.Workers, WorkerCounter{
+			Worker: i,
+			Polls:  m.Total(trace.CtrWorkerPolls(i)),
+			Events: m.Total(trace.CtrWorkerEvents(i)),
+			Tasks:  m.Total(trace.CtrWorkerTasks(i)),
+			Steals: m.Total(trace.CtrWorkerSteals(i)),
+		})
 	}
 	for _, r := range rep.Rails {
 		cs.Rails = append(cs.Rails, RailCounter{Name: r.Name, Packets: r.Packets, Bytes: r.Bytes})
@@ -243,6 +285,13 @@ func Run(cfg Config, main func(*Comm)) (*Report, error) {
 	}
 	if err := cfg.Coll.Validate(); err != nil {
 		return nil, fmt.Errorf("mpi: %v", err)
+	}
+	if cfg.Pioman.Workers < 0 {
+		return nil, fmt.Errorf("mpi: Pioman.Workers = %d", cfg.Pioman.Workers)
+	}
+	if cfg.Pioman.Workers > 1 && !cfg.Stack.PIOMan {
+		return nil, fmt.Errorf("mpi: Pioman.Workers = %d needs a PIOMan stack (%q polls on the application thread)",
+			cfg.Pioman.Workers, cfg.Stack.Name)
 	}
 	placement := cfg.Placement
 	if placement == nil {
@@ -314,6 +363,7 @@ func Run(cfg Config, main func(*Comm)) (*Report, error) {
 	for r := 0; r < cfg.NP; r++ {
 		node := nodes[placement.NodeOf(r)]
 		pioCfg := cfg.Stack.PioConfig()
+		pioCfg.Workers = cfg.Pioman.Workers
 		pioCfg.Metrics = met.Rank(r)
 		pioCfg.Rec = recs[r]
 		mgrs[r] = pioman.New(e, node, fmt.Sprintf("rank%d", r), pioCfg)
@@ -357,7 +407,7 @@ func Run(cfg Config, main func(*Comm)) (*Report, error) {
 		return nil, err
 	}
 
-	rep := &Report{Seconds: e.Now().Seconds(), Metrics: met}
+	rep := &Report{Seconds: e.Now().Seconds(), Events: e.Events(), Metrics: met}
 	for _, rail := range net.Rails() {
 		rep.Rails = append(rep.Rails, RailStat{
 			Name: rail.Params.Name, Packets: rail.Packets, Bytes: rail.BytesSent,
@@ -387,6 +437,10 @@ func wireBackend(cfg Config, e *vtime.Engine, net *simnet.Network,
 		cores := make([]*nmad.Core, cfg.NP)
 		for r := 0; r < cfg.NP; r++ {
 			mgr := mgrs[r]
+			// The core's deferred work and arrival notifications route to
+			// the worker shard the source lands on; coreShard is assigned by
+			// Register below, before any traffic can invoke the closures.
+			var coreShard int
 			cores[r] = nmad.New(e, r, placement.NodeOf(r), nmad.Options{
 				Strategy:     cfg.Stack.Strategy,
 				RdvThreshold: cfg.Stack.RdvThreshold,
@@ -394,12 +448,12 @@ func wireBackend(cfg Config, e *vtime.Engine, net *simnet.Network,
 				Rails:        net.Rails(),
 				MemBW:        cfg.Stack.Shm.MemBW,
 				PostTask: func(cost vtime.Duration, run func()) {
-					mgr.PostTask(pioman.Task{Cost: cost, Run: run})
+					mgr.PostTaskShard(coreShard, pioman.Task{Cost: cost, Run: run})
 				},
-				Notify: mgr.Notify,
+				Notify: func() { mgr.NotifyShard(coreShard) },
 				Rec:    recs[r],
 			})
-			mgrs[r].Register(cores[r], pioman.ClassNet)
+			coreShard = mgrs[r].Register(cores[r], pioman.ClassNet)
 		}
 		for a := 0; a < cfg.NP; a++ {
 			for b := 0; b < cfg.NP; b++ {

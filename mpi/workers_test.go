@@ -1,0 +1,151 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/cluster"
+	"repro/internal/topo"
+)
+
+// stormLoad is a small multi-communicator nonblocking storm: enough
+// concurrent schedules and deferred rounds to keep several progression
+// workers busy and their queues deep enough to steal from.
+func stormLoad(split bool, window int) func(*Comm) {
+	return func(c *Comm) {
+		sub := c
+		if split {
+			sub = c.Split(c.Rank()&1, c.Rank())
+		}
+		bufs := make([][]float64, window)
+		reqs := make([]*Request, window)
+		for s := range bufs {
+			bufs[s] = make([]float64, 8+s)
+		}
+		for b := 0; b < 3; b++ {
+			for s := range reqs {
+				for i := range bufs[s] {
+					bufs[s][i] = float64(sub.Rank() + 1)
+				}
+				reqs[s] = sub.IallreduceF64(bufs[s], OpSum)
+			}
+			c.WaitAll(reqs...)
+		}
+	}
+}
+
+func workersCfg(np, workers int) Config {
+	cfg := xeonCfg(np, cluster.MPICH2NmadIB().WithPIOMan(true))
+	cfg.Placement = topo.RoundRobin(np, cluster.Xeon2().NumNodes)
+	cfg.Pioman.Workers = workers
+	return cfg
+}
+
+// TestWorkersValidation: negative counts and multi-worker without PIOMan are
+// configuration errors, not silent clamps.
+func TestWorkersValidation(t *testing.T) {
+	cfg := workersCfg(4, -1)
+	if _, err := Run(cfg, func(c *Comm) {}); err == nil {
+		t.Fatal("Workers=-1 accepted")
+	}
+	bad := xeonCfg(4, cluster.MPICH2NmadIB())
+	bad.Pioman.Workers = 2
+	if _, err := Run(bad, func(c *Comm) {}); err == nil {
+		t.Fatal("Workers=2 without PIOMan accepted")
+	}
+}
+
+// TestWorkersDeterminism: a fixed multi-worker count is a fixed schedule —
+// virtual time and engine event counts are bit-identical across repetitions.
+func TestWorkersDeterminism(t *testing.T) {
+	run := func() (float64, int64) {
+		rep, err := Run(workersCfg(8, 3), stormLoad(true, 24))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Seconds, rep.Events
+	}
+	aS, aE := run()
+	bS, bE := run()
+	if aS != bS || aE != bE {
+		t.Fatalf("Workers=3 runs diverged: %.9fs/%d events != %.9fs/%d events", aS, aE, bS, bE)
+	}
+}
+
+// TestWorkersOneIsDefault: Workers=1 is the same schedule as the classic
+// unset (0) configuration, bit for bit.
+func TestWorkersOneIsDefault(t *testing.T) {
+	run := func(w int) (float64, int64) {
+		rep, err := Run(workersCfg(8, w), stormLoad(true, 24))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Seconds, rep.Events
+	}
+	dS, dE := run(0)
+	oS, oE := run(1)
+	if dS != oS || dE != oE {
+		t.Fatalf("Workers=1 diverged from default: %.9fs/%d events != %.9fs/%d events", oS, oE, dS, dE)
+	}
+}
+
+// TestWorkersCounters: multi-worker runs surface the per-worker breakdown
+// and the steal counter in the counter snapshot, and a single-communicator
+// storm — whose deferred rounds all key onto one shard — forces steals.
+func TestWorkersCounters(t *testing.T) {
+	rep, err := Run(workersCfg(8, 2), stormLoad(false, 48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := rep.Counters()
+	if len(cs.Workers) != 2 {
+		t.Fatalf("snapshot has %d worker rows, want 2", len(cs.Workers))
+	}
+	var tasks int64
+	for _, w := range cs.Workers {
+		tasks += w.Tasks
+	}
+	if tasks == 0 {
+		t.Fatal("no deferred tasks ran on any worker")
+	}
+	if cs.BgSteals == 0 {
+		t.Fatal("single-communicator storm produced no steals: the idle worker never helped")
+	}
+	if cs.Workers[1].Steals != cs.BgSteals {
+		t.Errorf("worker 1 steals %d != total %d (world context keys to shard 0)",
+			cs.Workers[1].Steals, cs.BgSteals)
+	}
+}
+
+// TestWorkersRaceStress drives the storm at 2 and 4 workers; under -race it
+// doubles as proof that the multi-proc progression has no host-side races
+// (the engine runs one proc at a time, and this pins that contract).
+func TestWorkersRaceStress(t *testing.T) {
+	for _, w := range []int{2, 4} {
+		rep, err := Run(workersCfg(8, w), stormLoad(true, 32))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		cs := rep.Counters()
+		if cs.NbcStarted == 0 || cs.NbcStarted != cs.NbcCompleted {
+			t.Fatalf("workers=%d leaked ops: started %d, completed %d",
+				w, cs.NbcStarted, cs.NbcCompleted)
+		}
+	}
+}
+
+// TestWorkersImproveVirtualTime: with deep per-shard queues, parallel
+// progression finishes the storm no later than the single worker — the
+// deterministic analogue of the paper's multicore progression win.
+func TestWorkersImproveVirtualTime(t *testing.T) {
+	run := func(w int) float64 {
+		rep, err := Run(workersCfg(8, w), stormLoad(true, 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Seconds
+	}
+	one, two := run(1), run(2)
+	if two > one {
+		t.Fatalf("Workers=2 finished at %.9fs, later than Workers=1 at %.9fs", two, one)
+	}
+}
