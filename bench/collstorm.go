@@ -96,6 +96,12 @@ type CollStormResult struct {
 	// noise-free proxy for host-side simulation work (bit-identical across
 	// repetitions of the same configuration).
 	Events int64 `json:"events"`
+	// NsPerEvent is host nanoseconds per engine event. Per-op host time
+	// legitimately grows O(log NP) with the collective's round count; per-
+	// event host time must stay flat as NP grows — any growth there is a
+	// host-side scaling bug (dense per-rank state, super-linear matching),
+	// not algorithm depth.
+	NsPerEvent float64 `json:"ns_per_event"`
 	// Counters is the run-wide registry snapshot: pool hits/misses,
 	// request in-flight peak, nbc started/completed, queue traffic.
 	Counters *mpi.CounterSnapshot `json:"counters,omitempty"`
@@ -208,6 +214,9 @@ func CollStormOnce(stack cluster.Stack, o CollStormOptions) (CollStormResult, er
 	}
 	res.VirtualS = rep.Seconds
 	res.Events = rep.Events
+	if rep.Events > 0 {
+		res.NsPerEvent = res.HostMS * 1e6 / float64(rep.Events)
+	}
 	res.Counters = rep.Counters()
 	if cs := res.Counters; cs.NbcStarted != cs.NbcCompleted {
 		return res, fmt.Errorf("bench: collstorm leaked ops: started %d != completed %d",

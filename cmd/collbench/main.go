@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -95,7 +96,19 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit JSON rows instead of the table")
 	traceOut := flag.String("trace", "",
 		"write a Chrome trace of the first swept configuration (auto algorithm, cache on) to this file, plus a summary on stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var sizes []int
 	for _, f := range strings.Split(*sizesFlag, ",") {
@@ -123,6 +136,12 @@ func main() {
 		ops[i] = strings.TrimSpace(ops[i])
 	}
 	stack := cluster.MPICH2NmadIB()
+
+	// Forced linear-depth rows are dropped beyond this rank count (see the
+	// sweep loop); the bound keeps the default grids intact while letting
+	// -np 4096 finish.
+	const maxLinearNP = 512
+	var skippedLinear []string
 
 	var rows []row
 	measure := func(op string, algo coll.Algo, skew string, seg, bytes int, cache bool) row {
@@ -187,6 +206,15 @@ func main() {
 					if kind, err := bench.OpKindOf(op); err == nil && coll.FallsBack(kind, algo, *np) {
 						continue
 					}
+					// Linear-depth algorithms (rings, chains, pairwise) run
+					// O(NP) rounds per rank — forcing one at NP in the
+					// thousands is O(NP²) simulation work for a row nobody
+					// would select there. The auto rows still cover them
+					// wherever the selector genuinely picks one.
+					if *np > maxLinearNP && coll.LinearDepth(algo) {
+						skippedLinear = append(skippedLinear, op+"/"+algo.String())
+						continue
+					}
 					segs := []int{0}
 					if coll.Segmented(algo) {
 						segs = segSweep
@@ -197,6 +225,11 @@ func main() {
 				}
 			}
 		}
+	}
+
+	if len(skippedLinear) > 0 {
+		fmt.Fprintf(os.Stderr, "collbench: np=%d > %d: skipped forcing linear-depth algorithms: %s\n",
+			*np, maxLinearNP, strings.Join(skippedLinear, ", "))
 	}
 
 	if *jsonOut {

@@ -18,6 +18,12 @@
 //     progression parallelism at depth.
 //   - -npsweep appends a rank-count sweep at a fixed depth (-npdepth),
 //     growing the cluster at 8 cores per node past the two-node testbed.
+//     Rank counts in the hundreds are routine: per-rank state (transport
+//     wiring, cell pools) is allocated lazily, so host cost tracks the
+//     traffic actually simulated, and the sweep's verdict pins host ns per
+//     engine event flat (within 2×) from the smallest to the largest NP —
+//     per-op cost is allowed its algorithmic O(log NP) round growth, but
+//     nothing NP-linear may hide under it.
 //   - -reps repeats each configuration, interleaved round-robin so host
 //     drift spreads evenly, and keeps the median-throughput run: single
 //     measurements on a shared host are noisy, and the virtual side of a
@@ -63,7 +69,7 @@ func main() {
 	workers := flag.String("workers", "1",
 		"comma-separated PIOMan worker counts to sweep at each depth")
 	npSweep := flag.String("npsweep", "",
-		"comma-separated rank counts for an extra NP sweep at -npdepth (e.g. 4,8,16,32)")
+		"comma-separated rank counts for an extra NP sweep at -npdepth (e.g. 4,8,16,64,256)")
 	npDepth := flag.Int("npdepth", 1000, "in-flight depth the -npsweep rows run at")
 	reps := flag.Int("reps", 1,
 		"repetitions per configuration, interleaved; the median-throughput run is kept")
@@ -164,6 +170,27 @@ func main() {
 		}
 		fmt.Printf("\nper-op host time %d -> %d in flight: %.2fx — %s\n",
 			lo.InFlight, hi.InFlight, ratio, verdict)
+	}
+
+	// NP-flatness verdict over the -npsweep rows. One op's host cost
+	// legitimately grows O(log NP) — the collective runs that many more
+	// rounds, and the engine schedules proportionally more events — so the
+	// quantity pinned is host time per engine event: flat per-event cost
+	// means matching, pooling and per-rank state carry no NP-dependent
+	// terms, which is exactly what lazy wiring and lazy cell pools buy.
+	if npRows > 1 {
+		nps := rows[len(rows)-npRows:]
+		lo, hi := nps[0], nps[len(nps)-1]
+		ratio := hi.NsPerEvent / lo.NsPerEvent
+		verdict := "flat per-event host cost (within 2x)"
+		if ratio > 2 {
+			verdict = "REGRESSION: super-linear host cost vs simulated work"
+		}
+		fmt.Printf("\nnp sweep %d -> %d at depth %d: per-op %.2fx, events/op %.2fx, per-event host cost %.2fx — %s\n",
+			lo.NP, hi.NP, lo.InFlight,
+			hi.NsPerOp/lo.NsPerOp,
+			(float64(hi.Events)/float64(hi.Ops))/(float64(lo.Events)/float64(lo.Ops)),
+			ratio, verdict)
 	}
 
 	// Worker-scaling verdict at the deepest swept window: the depth sweep's

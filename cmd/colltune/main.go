@@ -39,6 +39,8 @@ func main() {
 	stackFlag := flag.String("stack", "mpich2-nmad-ib",
 		"stack preset to calibrate, or \"all\" for every preset")
 	np := flag.Int("np", 8, "number of ranks (block-placed)")
+	npsFlag := flag.String("nps", "",
+		"comma-separated rank counts, one table band each (overrides -np; e.g. 8,64)")
 	iters := flag.Int("iters", 4, "iterations per measurement")
 	sizesFlag := flag.String("sizes", "", "comma-separated per-rank payload sizes in bytes (default 256B..1MB ladder)")
 	opsFlag := flag.String("ops", "", "comma-separated operations to tune (default every byte-tunable op)")
@@ -55,6 +57,15 @@ func main() {
 	flag.Parse()
 
 	opts := tune.Options{NP: *np, Iters: *iters}
+	if *npsFlag != "" {
+		for _, f := range strings.Split(*npsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				log.Fatalf("bad rank count %q", f)
+			}
+			opts.NPs = append(opts.NPs, n)
+		}
+	}
 	if *segsFlag != "" {
 		for _, f := range strings.Split(*segsFlag, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(f))
@@ -184,7 +195,7 @@ func diffTables(w io.Writer, ta, tb *coll.Table, opts tune.Options) int {
 	pick := func(t *coll.Tuning, op coll.OpKind, sel int) (coll.Algo, int) {
 		a := t.Select(op, np, sel, false)
 		if coll.Segmented(a) {
-			return a, t.SegFor(op, sel)
+			return a, t.SegFor(op, np, sel)
 		}
 		return a, 0
 	}
@@ -242,7 +253,7 @@ func runSweeps(stacks []cluster.Stack, opts tune.Options, stackFlag, out string,
 				log.Fatal(err)
 			}
 			log.Printf("%s: wrote %s (%d points, %d ops)",
-				s.Name, path, len(res.Points), len(res.Table.Ops))
+				s.Name, path, len(res.Points), len(res.Table.OpNames()))
 		case out == "-":
 			fmt.Print(string(data))
 		default:
@@ -250,7 +261,7 @@ func runSweeps(stacks []cluster.Stack, opts tune.Options, stackFlag, out string,
 				log.Fatal(err)
 			}
 			log.Printf("%s: wrote %s (%d points, %d ops)",
-				s.Name, out, len(res.Points), len(res.Table.Ops))
+				s.Name, out, len(res.Points), len(res.Table.OpNames()))
 		}
 	}
 }

@@ -47,10 +47,7 @@ func nodeN(t *testing.T, n int, shmOpt nemesis.Options, cfg Config) (*vtime.Engi
 			}
 		}
 	}
-	same := make([]bool, n)
-	for i := range same {
-		same[i] = true
-	}
+	same := func(int) bool { return true }
 	var procs []*Process
 	for i := 0; i < n; i++ {
 		mgr := pioman.New(e, node, fmt.Sprintf("p%d", i), pioman.Config{})

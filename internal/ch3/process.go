@@ -96,6 +96,17 @@ type VC struct {
 	SendFn   func(proc *vtime.Proc, req *Request)
 }
 
+// peerState is the lazily created per-peer connection state: the virtual
+// connection plus the shm sequence counter and job queue toward that peer.
+// At NP in the thousands a rank running log-depth collectives touches
+// O(log NP) peers, so per-peer state is created on first contact instead of
+// as NP-wide dense arrays (which would cost O(NP²) across the run).
+type peerState struct {
+	vc    VC
+	seqTo uint32
+	jobs  jobQueue
+}
+
 // Process is one rank's CH3/ADI3 state.
 type Process struct {
 	Rank int
@@ -107,15 +118,19 @@ type Process struct {
 	rec *trace.Recorder
 
 	shm     *nemesis.Endpoint
-	vcs     []*VC
 	backend NetBackend
+
+	// peers holds the lazily created per-peer state; sameNode classifies a
+	// peer on first contact, remoteSend is the SendFn installed on VCs of
+	// off-node peers (the §3.1.2 function-pointer override).
+	peers      map[int]*peerState
+	sameNode   func(peer int) bool
+	remoteSend func(proc *vtime.Proc, req *Request)
 
 	posted postedQueue
 	uq     uqQueue
 	qseq   uint64 // monotone stamp shared by both matching queues
 
-	seqTo      []uint32
-	jobs       []jobQueue
 	activeDsts []int
 
 	asm        map[asmKey]*assembly
@@ -167,26 +182,24 @@ func (jq *jobQueue) pop() *shmJob {
 }
 
 // NewProcess wires a CH3 process. shm may be nil when the rank shares a node
-// with nobody. The backend must be set with SetBackend before any traffic.
+// with nobody. sameNode classifies a peer as co-located on first contact
+// (nil means every peer is remote). The backend must be set with SetBackend
+// before any traffic.
 func NewProcess(e *vtime.Engine, rank, size int, mgr *pioman.Manager,
-	shm *nemesis.Endpoint, sameNode []bool, cfg Config) *Process {
+	shm *nemesis.Endpoint, sameNode func(peer int) bool, cfg Config) *Process {
 	p := &Process{
 		Rank: rank, Size: size, e: e, Mgr: mgr, cfg: cfg.withDefaults(),
-		rec:    cfg.Rec,
-		shm:    shm,
-		seqTo:  make([]uint32, size),
-		jobs:   make([]jobQueue, size),
-		asm:    make(map[asmKey]*assembly),
-		rdvIn:  make(map[uint64]*Request),
-		rdvOut: make(map[uint64]*Request),
+		rec:      cfg.Rec,
+		shm:      shm,
+		peers:    make(map[int]*peerState),
+		sameNode: sameNode,
+		asm:      make(map[asmKey]*assembly),
+		rdvIn:    make(map[uint64]*Request),
+		rdvOut:   make(map[uint64]*Request),
 
 		reqPoolHits:   cfg.Metrics.Counter(trace.CtrReqPoolHits),
 		reqPoolMisses: cfg.Metrics.Counter(trace.CtrReqPoolMisses),
 		inFlight:      cfg.Metrics.Gauge(trace.GaugeReqsInFlight),
-	}
-	p.vcs = make([]*VC, size)
-	for i := 0; i < size; i++ {
-		p.vcs[i] = &VC{Peer: i, SameNode: sameNode != nil && sameNode[i]}
 	}
 	if shm != nil {
 		shm.SetHandler(func(hdr shmq.Header, payload []byte) vtime.Duration {
@@ -215,8 +228,35 @@ func (p *Process) SetBackend(b NetBackend) { p.backend = b }
 // Backend returns the installed backend.
 func (p *Process) Backend() NetBackend { return p.backend }
 
+// SetRemoteSendFn installs the send override applied to every off-node
+// peer's VC — the direct module's CH3 bypass (§3.1.2). Already-created VCs
+// are retrofitted; peers contacted later pick it up at creation.
+func (p *Process) SetRemoteSendFn(fn func(proc *vtime.Proc, req *Request)) {
+	p.remoteSend = fn
+	for _, ps := range p.peers {
+		if !ps.vc.SameNode && ps.vc.SendFn == nil {
+			ps.vc.SendFn = fn
+		}
+	}
+}
+
+// peer returns rank's connection state, creating it on first contact.
+func (p *Process) peer(rank int) *peerState {
+	ps := p.peers[rank]
+	if ps == nil {
+		ps = &peerState{vc: VC{Peer: rank}}
+		if rank != p.Rank && p.sameNode != nil && p.sameNode(rank) {
+			ps.vc.SameNode = true
+		} else if p.remoteSend != nil {
+			ps.vc.SendFn = p.remoteSend
+		}
+		p.peers[rank] = ps
+	}
+	return ps
+}
+
 // VCOf returns the virtual connection to rank.
-func (p *Process) VCOf(rank int) *VC { return p.vcs[rank] }
+func (p *Process) VCOf(rank int) *VC { return &p.peer(rank).vc }
 
 // Engine returns the simulation engine.
 func (p *Process) Engine() *vtime.Engine { return p.e }
@@ -326,7 +366,7 @@ func (p *Process) isend(proc *vtime.Proc, dst int, tag, ctx int32, data []byte, 
 		panic("ch3: self-send must be handled by the MPI layer")
 	}
 	p.track(r)
-	vc := p.vcs[dst]
+	vc := &p.peer(dst).vc
 	if vc.SameNode {
 		p.isendShm(proc, r)
 		return r
@@ -341,8 +381,9 @@ func (p *Process) isend(proc *vtime.Proc, dst int, tag, ctx int32, data []byte, 
 
 func (p *Process) isendShm(proc *vtime.Proc, r *Request) {
 	dst := int(r.dst)
-	seq := p.seqTo[dst]
-	p.seqTo[dst]++
+	ps := p.peer(dst)
+	seq := ps.seqTo
+	ps.seqTo++
 	if len(r.data) <= p.cfg.EagerShmMax {
 		p.ShmEagerSends++
 		p.rec.Instant("proto", "shm-eager",
@@ -408,7 +449,7 @@ func (p *Process) irecv(proc *vtime.Proc, src int, tag, ctx int32, buf []byte, p
 	}
 
 	central := p.backend == nil || p.backend.CentralMatching()
-	remoteKnown := src != int(AnySource) && !p.vcs[src].SameNode
+	remoteKnown := src != int(AnySource) && !p.peer(src).vc.SameNode
 
 	if src == int(AnySource) || !remoteKnown || central {
 		p.posted.add(r, p.nextQSeq())
@@ -535,7 +576,7 @@ func (p *Process) Poll() (int, vtime.Duration) {
 }
 
 func (p *Process) pushJob(j *shmJob) {
-	jq := &p.jobs[j.dst]
+	jq := &p.peer(j.dst).jobs
 	if jq.empty() {
 		p.activeDsts = append(p.activeDsts, j.dst)
 	}
@@ -551,7 +592,7 @@ func (p *Process) advanceJobs() vtime.Duration {
 	var cost vtime.Duration
 	still := p.activeDsts[:0]
 	for _, dst := range p.activeDsts {
-		jq := &p.jobs[dst]
+		jq := &p.peer(dst).jobs
 		for !jq.empty() {
 			c, done := p.advanceOne(jq.front())
 			cost += c

@@ -100,7 +100,7 @@ func BuildAllreduceRabenseifner(rank, size int, x []float64, op Op) *Schedule {
 		return s
 	}
 	if size&(size-1) != 0 {
-		rdAllreduce(s, identityGroup(size), rank, x, op)
+		rdAllreduce(s, identGroup(size), rank, x, op)
 		return s
 	}
 	n := len(x)

@@ -83,6 +83,20 @@ func Segmented(a Algo) bool {
 	return false
 }
 
+// LinearDepth reports whether algo's round count grows linearly with the
+// rank count — rings, chains, linear rooted fan-in/out, pairwise exchange,
+// and the scatter-allgather bcast (its allgather phase is a ring). Their
+// per-rank schedules are inherently O(NP), so forcing one at NP in the
+// thousands costs O(NP²) total simulation work; harnesses consult this to
+// keep large-NP sweeps to the logarithmic-depth pool.
+func LinearDepth(a Algo) bool {
+	switch a {
+	case AlgoRing, AlgoSegRing, AlgoChain, AlgoLinear, AlgoPairwise, AlgoScatterAllgather:
+		return true
+	}
+	return false
+}
+
 func (a Algo) String() string {
 	if int(a) < len(algoNames) {
 		return algoNames[a]
@@ -289,16 +303,16 @@ const (
 )
 
 // SegFor resolves the pipeline segment size a segmented algorithm runs
-// with for op at bytes of payload: SegBytes forces it, otherwise the
-// calibrated table entry matching this payload supplies it, otherwise
-// DefSegBytes — the same precedence ladder Select applies to the
-// algorithm itself.
-func (t *Tuning) SegFor(op OpKind, bytes int) int {
+// with for op on np ranks at bytes of payload: SegBytes forces it,
+// otherwise the calibrated table entry matching this rank count and payload
+// supplies it, otherwise DefSegBytes — the same precedence ladder Select
+// applies to the algorithm itself.
+func (t *Tuning) SegFor(op OpKind, np, bytes int) int {
 	if t != nil && t.SegBytes > 0 {
 		return t.SegBytes
 	}
 	if t != nil && t.Table != nil {
-		if e, ok := t.Table.LookupEntry(op, bytes); ok && e.Seg > 0 {
+		if e, ok := t.Table.LookupEntry(op, np, bytes); ok && e.Seg > 0 {
 			return e.Seg
 		}
 	}
@@ -340,8 +354,18 @@ func (t *Tuning) Select(op OpKind, size, bytes int, twoLevel bool) Algo {
 			return a
 		}
 	}
+	// A calibrated flat-vs-two-level crossover refines the topology request:
+	// when the table records that leader aggregation only pays off above
+	// some payload, smaller payloads take the flat selection even though the
+	// caller asked for two-level. Uncalibrated tables keep the structural
+	// default — two-level whenever requested.
+	if twoLevel && t != nil && t.Table != nil && hasTwoLevel(op) {
+		if m, ok := t.Table.TwoLevelMin[op.String()]; ok && (m < 0 || bytes <= m) {
+			twoLevel = false
+		}
+	}
 	if t != nil && t.Table != nil && !(twoLevel && hasTwoLevel(op)) {
-		if a, ok := t.Table.Lookup(op, bytes); ok {
+		if a, ok := t.Table.Lookup(op, size, bytes); ok {
 			return builderFallback(op, a, size)
 		}
 	}
@@ -416,6 +440,10 @@ func (t *Tuning) Select(op OpKind, size, bytes int, twoLevel bool) Algo {
 // the operations whose twoLevel selection outranks any table entry.
 func hasTwoLevel(op OpKind) bool { return registry[op][AlgoTwoLevel] != nil }
 
+// HasTwoLevel is the exported form of hasTwoLevel — the autotuner sweeps
+// the flat-vs-two-level crossover for exactly these operations.
+func HasTwoLevel(op OpKind) bool { return hasTwoLevel(op) }
+
 // builderFallback maps a table's pick to the algorithm the builder would
 // actually construct at this rank count: the power-of-two-only choices fall
 // back inside their builders (FallsBack), and normalizing here keeps
@@ -451,6 +479,11 @@ type Key struct {
 	Algo  Algo
 	Root  int
 	Stack string
+	// NP is the communicator's rank count. Selection keys on it twice over
+	// — rank-count-banded tables and the power-of-two builder fallbacks —
+	// so two communicators of different sizes must never share a compiled
+	// shape even when their buffer signatures coincide.
+	NP int
 	// Seg is the resolved pipeline segment size for segmented algorithms
 	// (0 otherwise). It is part of the key because segment size is shape:
 	// the same buffers pipelined at a different granularity compile a
@@ -484,9 +517,9 @@ func KeyFor(t *Tuning, op OpKind, a Args, twoLevel bool) Key {
 		}
 		algo = noForce.Select(op, a.Size, bytes, false)
 	}
-	k := Key{Op: op, Algo: algo, Root: rootOf(op, a), Sig: sigOf(op, a)}
+	k := Key{Op: op, Algo: algo, Root: rootOf(op, a), NP: a.Size, Sig: sigOf(op, a)}
 	if Segmented(algo) {
-		k.Seg = t.SegFor(op, bytes)
+		k.Seg = t.SegFor(op, a.Size, bytes)
 	}
 	if t != nil {
 		k.Stack = t.Stack

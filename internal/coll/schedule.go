@@ -1,6 +1,10 @@
 package coll
 
-import "repro/internal/trace"
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
 
 // This file expresses the collective algorithm set as *schedules*: per-rank
 // programs of rounds, each round holding point-to-point transfers (send/recv
@@ -200,7 +204,7 @@ func BuildBcast(rank, size, root int, data []byte) *Schedule {
 	if size == 1 {
 		return s
 	}
-	binomialBcastBytes(s, identityGroup(size), root, rank, data)
+	binomialBcastBytes(s, identGroup(size), root, rank, data)
 	return s
 }
 
@@ -211,7 +215,7 @@ func BuildReduce(rank, size, root int, x []float64, op Op) *Schedule {
 	if size == 1 {
 		return s
 	}
-	binomialReduce(s, identityGroup(size), root, rank, x, op)
+	binomialReduce(s, identGroup(size), root, rank, x, op)
 	return s
 }
 
@@ -222,7 +226,7 @@ func BuildAllreduce(rank, size int, x []float64, op Op) *Schedule {
 	if size == 1 {
 		return s
 	}
-	rdAllreduce(s, identityGroup(size), rank, x, op)
+	rdAllreduce(s, identGroup(size), rank, x, op)
 	return s
 }
 
@@ -295,14 +299,39 @@ func BuildGather(rank, size, root int, mine []byte, out [][]byte) *Schedule {
 
 // ---- group-relative building blocks ----------------------------------------
 
-// identityGroup returns [0, 1, ..., n-1].
-func identityGroup(n int) []int {
-	g := make([]int, n)
-	for i := range g {
-		g[i] = i
-	}
-	return g
+// Group is an ordered set of ranks a schedule fragment runs over. The
+// log-depth builders only ever look up their own position plus O(log n)
+// peers, so a group must not force an O(n) materialization: the whole
+// communicator is the O(1) identGroup, and only genuinely irregular groups
+// (per-node locals, leader sets) pay for a backing slice.
+type Group interface {
+	// Len is the number of member ranks.
+	Len() int
+	// At returns the member rank at position i.
+	At(i int) int
+	// Index returns the position of rank, or -1 when rank is not a member.
+	Index(rank int) int
 }
+
+// identGroup is the group [0, 1, ..., n-1] with O(1) storage and lookups —
+// what every flat (whole-communicator) builder runs over.
+type identGroup int
+
+func (g identGroup) Len() int     { return int(g) }
+func (g identGroup) At(i int) int { return i }
+func (g identGroup) Index(rank int) int {
+	if rank < 0 || rank >= int(g) {
+		return -1
+	}
+	return rank
+}
+
+// sliceGroup adapts an explicit rank list (leaders, one node's locals).
+type sliceGroup []int
+
+func (g sliceGroup) Len() int           { return len(g) }
+func (g sliceGroup) At(i int) int       { return g[i] }
+func (g sliceGroup) Index(rank int) int { return indexIn(g, rank) }
 
 // indexIn returns the position of rank in group, or -1.
 func indexIn(group []int, rank int) int {
@@ -317,13 +346,14 @@ func indexIn(group []int, rank int) int {
 // binomialBcast appends rank me's rounds of a binomial broadcast over the
 // ranks of group, rooted at group member root. mkSend builds the forwarding
 // prim toward a peer; mkRecv builds the receive prim (plus optional local
-// prims to run after it). Ranks outside group get no rounds.
-func binomialBcast(s *Schedule, group []int, root, me int,
+// prims to run after it). Ranks outside group get no rounds. Work and
+// schedule size are O(log |group|) plus the cost of two Index lookups.
+func binomialBcast(s *Schedule, group Group, root, me int,
 	mkSend func(peer int) Prim, mkRecv func(peer int) (Prim, []Prim)) {
 
-	m := len(group)
-	idx := indexIn(group, me)
-	rootIdx := indexIn(group, root)
+	m := group.Len()
+	idx := group.Index(me)
+	rootIdx := group.Index(root)
 	if idx < 0 || m <= 1 {
 		return
 	}
@@ -331,7 +361,7 @@ func binomialBcast(s *Schedule, group []int, root, me int,
 	mask := 1
 	for mask < m {
 		if vr&mask != 0 {
-			src := group[(vr-mask+rootIdx+m)%m]
+			src := group.At((vr - mask + rootIdx + m) % m)
 			rd := s.round()
 			pr, locals := mkRecv(src)
 			rd.Comm = append(rd.Comm, pr)
@@ -343,7 +373,7 @@ func binomialBcast(s *Schedule, group []int, root, me int,
 	mask >>= 1
 	for mask > 0 {
 		if vr+mask < m {
-			dst := group[(vr+mask+rootIdx)%m]
+			dst := group.At((vr + mask + rootIdx) % m)
 			rd := s.round()
 			rd.Comm = append(rd.Comm, mkSend(dst))
 		}
@@ -353,7 +383,7 @@ func binomialBcast(s *Schedule, group []int, root, me int,
 
 // binomialBcastBytes broadcasts a byte buffer (in place) over group from
 // root: receivers land directly in data and forward the same buffer.
-func binomialBcastBytes(s *Schedule, group []int, root, me int, data []byte) {
+func binomialBcastBytes(s *Schedule, group Group, root, me int, data []byte) {
 	binomialBcast(s, group, root, me, func(peer int) Prim {
 		return sendP(peer, data)
 	}, func(peer int) (Prim, []Prim) {
@@ -364,7 +394,11 @@ func binomialBcastBytes(s *Schedule, group []int, root, me int, data []byte) {
 // binomialBcastF64 broadcasts the float64 vector x over group from root:
 // receivers land bytes in a scratch buffer, decode into x, and forward x
 // lazily so intermediate tree nodes relay what they received.
-func binomialBcastF64(s *Schedule, group []int, root, me int, x []float64) {
+func binomialBcastF64(s *Schedule, group Group, root, me int, x []float64) {
+	m := group.Len()
+	if m <= 1 || group.Index(me) < 0 {
+		return
+	}
 	scratch := make([]byte, 8*len(x))
 	binomialBcast(s, group, root, me, func(peer int) Prim {
 		return sendF64(peer, x)
@@ -375,10 +409,10 @@ func binomialBcastF64(s *Schedule, group []int, root, me int, x []float64) {
 
 // binomialReduce appends rank me's rounds of a binomial-tree reduction of x
 // into group-member root's x (clobbered elsewhere). Commutative op only.
-func binomialReduce(s *Schedule, group []int, root, me int, x []float64, op Op) {
-	m := len(group)
-	idx := indexIn(group, me)
-	rootIdx := indexIn(group, root)
+func binomialReduce(s *Schedule, group Group, root, me int, x []float64, op Op) {
+	m := group.Len()
+	idx := group.Index(me)
+	rootIdx := group.Index(root)
 	if idx < 0 || m <= 1 {
 		return
 	}
@@ -390,11 +424,11 @@ func binomialReduce(s *Schedule, group []int, root, me int, x []float64, op Op) 
 			src := vr | mask
 			if src < m {
 				rd := s.round()
-				rd.Comm = append(rd.Comm, recvP(group[(src+rootIdx)%m], rbuf))
+				rd.Comm = append(rd.Comm, recvP(group.At((src+rootIdx)%m), rbuf))
 				rd.Local = append(rd.Local, reduceP(x, rbuf, op))
 			}
 		} else {
-			dst := group[((vr&^mask)+rootIdx)%m]
+			dst := group.At(((vr &^ mask) + rootIdx) % m)
 			rd := s.round()
 			rd.Comm = append(rd.Comm, sendF64(dst, x))
 			return
@@ -404,11 +438,11 @@ func binomialReduce(s *Schedule, group []int, root, me int, x []float64, op Op) 
 }
 
 // rdAllreduce appends rank me's rounds of a recursive-doubling allreduce of x
-// over group, with the standard pre/post phases when len(group) is not a
+// over group, with the standard pre/post phases when the group size is not a
 // power of two. Commutative op only.
-func rdAllreduce(s *Schedule, group []int, me int, x []float64, op Op) {
-	m := len(group)
-	idx := indexIn(group, me)
+func rdAllreduce(s *Schedule, group Group, me int, x []float64, op Op) {
+	m := group.Len()
+	idx := group.Index(me)
 	if idx < 0 || m <= 1 {
 		return
 	}
@@ -423,10 +457,10 @@ func rdAllreduce(s *Schedule, group []int, me int, x []float64, op Op) {
 	switch {
 	case idx < 2*rem && idx%2 == 0:
 		rd := s.round()
-		rd.Comm = append(rd.Comm, sendF64(group[idx+1], x))
+		rd.Comm = append(rd.Comm, sendF64(group.At(idx+1), x))
 	case idx < 2*rem:
 		rd := s.round()
-		rd.Comm = append(rd.Comm, recvP(group[idx-1], rbuf))
+		rd.Comm = append(rd.Comm, recvP(group.At(idx-1), rbuf))
 		rd.Local = append(rd.Local, reduceP(x, rbuf, op))
 		newrank = idx / 2
 	default:
@@ -443,7 +477,7 @@ func rdAllreduce(s *Schedule, group []int, me int, x []float64, op Op) {
 				real = partner + rem
 			}
 			rd := s.round()
-			rd.Comm = append(rd.Comm, sendF64(group[real], x), recvP(group[real], rbuf))
+			rd.Comm = append(rd.Comm, sendF64(group.At(real), x), recvP(group.At(real), rbuf))
 			rd.Local = append(rd.Local, reduceP(x, rbuf, op))
 		}
 	}
@@ -451,10 +485,10 @@ func rdAllreduce(s *Schedule, group []int, me int, x []float64, op Op) {
 	if idx < 2*rem {
 		rd := s.round()
 		if idx%2 == 0 {
-			rd.Comm = append(rd.Comm, recvP(group[idx+1], rbuf))
+			rd.Comm = append(rd.Comm, recvP(group.At(idx+1), rbuf))
 			rd.Local = append(rd.Local, decodeP(x, rbuf))
 		} else {
-			rd.Comm = append(rd.Comm, sendF64(group[idx-1], x))
+			rd.Comm = append(rd.Comm, sendF64(group.At(idx-1), x))
 		}
 	}
 }
@@ -469,20 +503,23 @@ func rdAllreduce(s *Schedule, group []int, me int, x []float64, op Op) {
 // leadersOf returns one leader rank per populated node (ascending node id)
 // and the local rank group of rank's own node. When root >= 0 and shares a
 // node with rank's view of the placement, root is promoted to leader of its
-// node so rooted operations need no extra hop.
+// node so rooted operations need no extra hop. Node ids only need to be
+// comparable, not dense: hierarchical placements encode rack/switch position
+// in the id, leaving large gaps, and a scan over the id range would turn a
+// 4-node map into millions of iterations. Only populated ids are visited.
 func leadersOf(nodes []int, root int) (leaders []int, byNode map[int][]int) {
 	byNode = make(map[int][]int)
-	maxNode := 0
+	ids := make([]int, 0, 16)
 	for r, n := range nodes {
+		if _, ok := byNode[n]; !ok {
+			ids = append(ids, n)
+		}
 		byNode[n] = append(byNode[n], r)
-		if n > maxNode {
-			maxNode = n
-		}
 	}
-	for n := 0; n <= maxNode; n++ {
-		if _, ok := byNode[n]; ok {
-			leaders = append(leaders, leaderFor(nodes, byNode, root, byNode[n][0]))
-		}
+	sort.Ints(ids)
+	leaders = make([]int, 0, len(ids))
+	for _, n := range ids {
+		leaders = append(leaders, leaderFor(nodes, byNode, root, byNode[n][0]))
 	}
 	return leaders, byNode
 }
@@ -555,9 +592,9 @@ func BuildBcastTwoLevel(rank int, nodes []int, root int, data []byte) *Schedule 
 		return s
 	}
 	leaders, byNode := leadersOf(nodes, root)
-	binomialBcastBytes(s, leaders, root, rank, data)
+	binomialBcastBytes(s, sliceGroup(leaders), root, rank, data)
 	local := byNode[nodes[rank]]
-	binomialBcastBytes(s, local, leaderFor(nodes, byNode, root, rank), rank, data)
+	binomialBcastBytes(s, sliceGroup(local), leaderFor(nodes, byNode, root, rank), rank, data)
 	return s
 }
 
@@ -573,9 +610,9 @@ func BuildAllreduceTwoLevel(rank int, nodes []int, x []float64, op Op) *Schedule
 	leaders, byNode := leadersOf(nodes, -1)
 	local := byNode[nodes[rank]]
 	lead := leaderFor(nodes, byNode, -1, rank)
-	binomialReduce(s, local, lead, rank, x, op)
-	rdAllreduce(s, leaders, rank, x, op)
-	binomialBcastF64(s, local, lead, rank, x)
+	binomialReduce(s, sliceGroup(local), lead, rank, x, op)
+	rdAllreduce(s, sliceGroup(leaders), rank, x, op)
+	binomialBcastF64(s, sliceGroup(local), lead, rank, x)
 	return s
 }
 

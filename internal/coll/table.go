@@ -34,16 +34,45 @@ type TableEntry struct {
 	Seg      int  `json:"seg,omitempty"`
 }
 
+// NPBand scopes one list of byte-threshold entries to a rank-count range:
+// the band applies to communicators of up to MaxNP ranks (inclusive), with
+// a negative MaxNP meaning unbounded (and terminating the list). Bands are
+// how a calibration records its own validity range — crossovers measured at
+// NP=8 say nothing about NP=4096, where log-depth fan-out, tree height and
+// payload aggregation all shift, so a lookup beyond the last band falls
+// back to the (rank-count-aware) built-in defaults instead of silently
+// stretching a small-scale calibration three orders of magnitude.
+type NPBand struct {
+	MaxNP   int          `json:"max_np"`
+	Entries []TableEntry `json:"entries"`
+}
+
 // Table holds calibrated per-operation selection thresholds for one stack.
 // Ops is keyed by OpKind name ("bcast", "allreduce", ...); operations
-// absent from the map keep the built-in default selection.
+// absent from both maps keep the built-in default selection.
 type Table struct {
 	// Stack names the MPI stack the table was calibrated on
 	// (cluster.Stack.Name). Tuning.Validate rejects a known mismatch with
 	// the stack selection runs under — see that method for the deliberate
 	// cross-application escape hatch.
-	Stack string                  `json:"stack"`
-	Ops   map[string][]TableEntry `json:"ops"`
+	Stack string `json:"stack"`
+	// Ops holds unbanded entry lists: thresholds applied at every rank
+	// count. The legacy (pre-banding) format; colltune now always emits
+	// Bands, but hand-written unbanded tables keep loading.
+	Ops map[string][]TableEntry `json:"ops,omitempty"`
+	// Bands holds rank-count-banded entry lists, ascending by MaxNP. An
+	// operation may appear in Ops or Bands, not both. A rank count beyond
+	// the last band deliberately misses: the calibration does not claim
+	// validity there.
+	Bands map[string][]NPBand `json:"bands,omitempty"`
+	// TwoLevelMin calibrates the flat-vs-two-level crossover per operation:
+	// when the caller requests the hierarchical variant, two-level is only
+	// selected for payloads strictly above this many selector-space bytes —
+	// below it the flat selection applies (leader aggregation costs an extra
+	// intra-node phase that small payloads never amortize). A negative value
+	// means two-level never won on the calibrated topology; an absent entry
+	// leaves the structural default (two-level whenever requested).
+	TwoLevelMin map[string]int `json:"two_level_min,omitempty"`
 }
 
 // MarshalJSON serializes the algorithm by name.
@@ -110,80 +139,155 @@ func OpKindByName(name string) (OpKind, error) {
 	return 0, fmt.Errorf("coll: unknown operation %q", name)
 }
 
+// checkOp resolves and vets an operation name appearing in one of the
+// table's maps.
+func (t *Table) checkOp(opName string) (OpKind, error) {
+	op, err := OpKindByName(opName)
+	if err != nil {
+		return 0, fmt.Errorf("coll: table for stack %q: %v", t.Stack, err)
+	}
+	if !ByteTunable(op) {
+		return 0, fmt.Errorf("coll: table for stack %q: selection for %s does not key on payload size, a table cannot tune it",
+			t.Stack, op)
+	}
+	return op, nil
+}
+
+// validateEntries checks one byte-threshold list: a registered flat builder
+// behind every entry, ascending thresholds, and exactly one open-ended
+// entry closing the list.
+func (t *Table) validateEntries(op OpKind, entries []TableEntry) error {
+	if len(entries) == 0 {
+		return fmt.Errorf("coll: table for stack %q: op %s has no entries", t.Stack, op)
+	}
+	prev := -1
+	for i, e := range entries {
+		if e.Algo == AlgoAuto || e.Algo == AlgoTwoLevel {
+			return fmt.Errorf("coll: table for stack %q: op %s entry %d: %s is not a flat algorithm (tables drive flat selection; two-level is topology's decision)",
+				t.Stack, op, i, e.Algo)
+		}
+		if int(e.Algo) >= int(numAlgos) || registry[op][e.Algo] == nil {
+			return fmt.Errorf("coll: table for stack %q: op %s entry %d: no %s builder registered",
+				t.Stack, op, i, e.Algo)
+		}
+		if e.Seg < 0 {
+			return fmt.Errorf("coll: table for stack %q: op %s entry %d: negative seg %d",
+				t.Stack, op, i, e.Seg)
+		}
+		if e.Seg > 0 && !Segmented(e.Algo) {
+			return fmt.Errorf("coll: table for stack %q: op %s entry %d: seg %d on non-segmented algorithm %s (dead config)",
+				t.Stack, op, i, e.Seg, e.Algo)
+		}
+		if e.MaxBytes < 0 {
+			if i != len(entries)-1 {
+				return fmt.Errorf("coll: table for stack %q: op %s entry %d: unbounded entry must be last",
+					t.Stack, op, i)
+			}
+			continue
+		}
+		if i == len(entries)-1 {
+			return fmt.Errorf("coll: table for stack %q: op %s: last entry must be unbounded (max_bytes < 0), got %d",
+				t.Stack, op, e.MaxBytes)
+		}
+		if e.MaxBytes <= prev {
+			return fmt.Errorf("coll: table for stack %q: op %s entry %d: max_bytes %d not ascending",
+				t.Stack, op, i, e.MaxBytes)
+		}
+		prev = e.MaxBytes
+	}
+	return nil
+}
+
 // Validate checks the table's structure: known operations, a registered
-// builder behind every entry, ascending thresholds, and exactly one
-// open-ended entry closing each list. Errors name the offending operation
-// and entry so a hand-edited table fails loudly instead of silently falling
-// back to defaults.
+// builder behind every entry, ascending thresholds (bytes within a list,
+// rank counts across bands), and exactly one open-ended entry closing each
+// byte list. Errors name the offending operation and entry so a hand-edited
+// table fails loudly instead of silently falling back to defaults.
 func (t *Table) Validate() error {
 	for opName, entries := range t.Ops {
-		op, err := OpKindByName(opName)
+		op, err := t.checkOp(opName)
 		if err != nil {
-			return fmt.Errorf("coll: table for stack %q: %v", t.Stack, err)
+			return err
 		}
-		if !ByteTunable(op) {
-			return fmt.Errorf("coll: table for stack %q: selection for %s does not key on payload size, a table cannot tune it",
-				t.Stack, op)
+		if _, dup := t.Bands[opName]; dup {
+			return fmt.Errorf("coll: table for stack %q: op %s appears in both ops and bands", t.Stack, op)
 		}
-		if len(entries) == 0 {
-			return fmt.Errorf("coll: table for stack %q: op %s has no entries", t.Stack, op)
+		if err := t.validateEntries(op, entries); err != nil {
+			return err
 		}
-		prev := -1
-		for i, e := range entries {
-			if e.Algo == AlgoAuto || e.Algo == AlgoTwoLevel {
-				return fmt.Errorf("coll: table for stack %q: op %s entry %d: %s is not a flat algorithm (tables drive flat selection; two-level is topology's decision)",
-					t.Stack, op, i, e.Algo)
+	}
+	for opName, bands := range t.Bands {
+		op, err := t.checkOp(opName)
+		if err != nil {
+			return err
+		}
+		if len(bands) == 0 {
+			return fmt.Errorf("coll: table for stack %q: op %s has no bands", t.Stack, op)
+		}
+		prevNP := 0
+		for i, b := range bands {
+			if b.MaxNP == 0 {
+				return fmt.Errorf("coll: table for stack %q: op %s band %d: max_np 0 covers nothing", t.Stack, op, i)
 			}
-			if int(e.Algo) >= int(numAlgos) || registry[op][e.Algo] == nil {
-				return fmt.Errorf("coll: table for stack %q: op %s entry %d: no %s builder registered",
-					t.Stack, op, i, e.Algo)
+			if b.MaxNP < 0 && i != len(bands)-1 {
+				return fmt.Errorf("coll: table for stack %q: op %s band %d: unbounded band must be last", t.Stack, op, i)
 			}
-			if e.Seg < 0 {
-				return fmt.Errorf("coll: table for stack %q: op %s entry %d: negative seg %d",
-					t.Stack, op, i, e.Seg)
+			if b.MaxNP > 0 && b.MaxNP <= prevNP {
+				return fmt.Errorf("coll: table for stack %q: op %s band %d: max_np %d not ascending", t.Stack, op, i, b.MaxNP)
 			}
-			if e.Seg > 0 && !Segmented(e.Algo) {
-				return fmt.Errorf("coll: table for stack %q: op %s entry %d: seg %d on non-segmented algorithm %s (dead config)",
-					t.Stack, op, i, e.Seg, e.Algo)
+			if b.MaxNP > 0 {
+				prevNP = b.MaxNP
 			}
-			if e.MaxBytes < 0 {
-				if i != len(entries)-1 {
-					return fmt.Errorf("coll: table for stack %q: op %s entry %d: unbounded entry must be last",
-						t.Stack, op, i)
-				}
-				continue
+			if err := t.validateEntries(op, b.Entries); err != nil {
+				return err
 			}
-			if i == len(entries)-1 {
-				return fmt.Errorf("coll: table for stack %q: op %s: last entry must be unbounded (max_bytes < 0), got %d",
-					t.Stack, op, e.MaxBytes)
-			}
-			if e.MaxBytes <= prev {
-				return fmt.Errorf("coll: table for stack %q: op %s entry %d: max_bytes %d not ascending",
-					t.Stack, op, i, e.MaxBytes)
-			}
-			prev = e.MaxBytes
+		}
+	}
+	for opName := range t.TwoLevelMin {
+		op, err := t.checkOp(opName)
+		if err != nil {
+			return err
+		}
+		if registry[op][AlgoTwoLevel] == nil {
+			return fmt.Errorf("coll: table for stack %q: two_level_min for %s, but %s has no two-level builder", t.Stack, op, op)
 		}
 	}
 	return nil
 }
 
-// Lookup returns the table's algorithm for op at bytes of payload, or
-// (AlgoAuto, false) when the table has no entry for op.
-func (t *Table) Lookup(op OpKind, bytes int) (Algo, bool) {
-	e, ok := t.LookupEntry(op, bytes)
+// Lookup returns the table's algorithm for op on np ranks at bytes of
+// payload, or (AlgoAuto, false) when the table has no applicable entry.
+func (t *Table) Lookup(op OpKind, np, bytes int) (Algo, bool) {
+	e, ok := t.LookupEntry(op, np, bytes)
 	return e.Algo, ok
 }
 
-// LookupEntry returns the full table entry matching op at bytes of payload
-// — algorithm plus its calibrated segment size — or (zero, false) when the
-// table has no entry for op.
-func (t *Table) LookupEntry(op OpKind, bytes int) (TableEntry, bool) {
+// LookupEntry returns the full table entry matching op on np ranks at bytes
+// of payload — algorithm plus its calibrated segment size — or (zero,
+// false) when the table has no applicable entry. Banded operations resolve
+// through the first band covering np; a rank count beyond the last band
+// misses deliberately (the calibration's validity ends there, the built-in
+// rank-count-aware defaults take over). Unbanded operations apply at every
+// rank count.
+func (t *Table) LookupEntry(op OpKind, np, bytes int) (TableEntry, bool) {
 	if t == nil {
 		return TableEntry{}, false
 	}
 	entries, ok := t.Ops[op.String()]
 	if !ok {
-		return TableEntry{}, false
+		bands, bok := t.Bands[op.String()]
+		if !bok {
+			return TableEntry{}, false
+		}
+		for _, b := range bands {
+			if b.MaxNP < 0 || np <= b.MaxNP {
+				entries = b.Entries
+				break
+			}
+		}
+		if entries == nil {
+			return TableEntry{}, false
+		}
 	}
 	for _, e := range entries {
 		if e.MaxBytes < 0 || bytes <= e.MaxBytes {
@@ -195,11 +299,15 @@ func (t *Table) LookupEntry(op OpKind, bytes int) (TableEntry, bool) {
 	return TableEntry{}, false
 }
 
-// OpNames returns the table's operation names in sorted order — the
-// deterministic iteration order serializers and reports use.
+// OpNames returns the table's operation names (banded and unbanded) in
+// sorted order — the deterministic iteration order serializers and reports
+// use.
 func (t *Table) OpNames() []string {
-	names := make([]string, 0, len(t.Ops))
+	names := make([]string, 0, len(t.Ops)+len(t.Bands))
 	for n := range t.Ops {
+		names = append(names, n)
+	}
+	for n := range t.Bands {
 		names = append(names, n)
 	}
 	sort.Strings(names)

@@ -59,19 +59,14 @@ type Direct struct {
 }
 
 // NewDirect builds the module for process p over NewMadeleine core nm.
-// It installs the VC send-function overrides for every remote peer
+// It installs the VC send-function override applied to every remote peer
 // (§3.1.2): MPID_Send on those connections calls NewMadeleine directly.
+// The override is one shared function handed to the process, which stamps
+// it onto each off-node VC as the peer is first contacted — no O(NP) setup
+// pass per rank.
 func NewDirect(p *ch3.Process, nm *nmad.Core, cfg DirectConfig) *Direct {
 	d := &Direct{p: p, nm: nm, cfg: cfg.withDefaults(), as: newASSet()}
-	for r := 0; r < p.Size; r++ {
-		if r == p.Rank {
-			continue
-		}
-		vc := p.VCOf(r)
-		if !vc.SameNode {
-			vc.SendFn = func(proc *vtime.Proc, req *ch3.Request) { d.Isend(proc, req) }
-		}
-	}
+	p.SetRemoteSendFn(func(proc *vtime.Proc, req *ch3.Request) { d.Isend(proc, req) })
 	p.SetBackend(d)
 	return d
 }

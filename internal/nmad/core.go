@@ -28,6 +28,12 @@ type Options struct {
 	PwParseCost vtime.Duration
 	// MatchCost is the host cost of one tag-matching step.
 	MatchCost vtime.Duration
+	// Peer resolves a rank to its Core so gates can be established lazily
+	// on first traffic. With NP in the thousands, eagerly connecting every
+	// pair costs O(NP²) gates while a log-depth collective touches O(log NP)
+	// peers per rank; the resolver makes connection cost follow actual
+	// communication. Nil means gates must be pre-wired with Connect.
+	Peer func(rank int) *Core
 	// PostTask defers host work (submission) to the progress engine.
 	PostTask func(cost vtime.Duration, run func())
 	// Notify signals the progress engine that events are pending.
@@ -171,8 +177,21 @@ func (c *Core) Connect(peer *Core) *Gate {
 	return g
 }
 
-// Gate returns the gate to rank, or nil if not connected.
-func (c *Core) Gate(rank int) *Gate { return c.gates[rank] }
+// Gate returns the gate to rank, or nil if not connected. With a Peer
+// resolver configured, the first lookup toward a rank establishes the gate
+// — the receive side does the same in handleEntry, so neither endpoint
+// needs the O(NP²) pre-wiring pass.
+func (c *Core) Gate(rank int) *Gate {
+	if g, ok := c.gates[rank]; ok {
+		return g
+	}
+	if c.opt.Peer != nil && rank != c.rank {
+		if p := c.opt.Peer(rank); p != nil {
+			return c.Connect(p)
+		}
+	}
+	return nil
+}
 
 // ISend posts a send of data with the given tag toward gate g. Small
 // messages take the eager path; messages above RdvThreshold use the internal
@@ -508,7 +527,7 @@ func (c *Core) Poll() (int, vtime.Duration) {
 
 // handleEntry dispatches one arrived entry; returns its host cost.
 func (c *Core) handleEntry(fromRank int, en Entry) vtime.Duration {
-	g := c.gates[fromRank]
+	g := c.Gate(fromRank)
 	if g == nil {
 		panic(fmt.Sprintf("nmad[%d]: entry from unconnected rank %d", c.rank, fromRank))
 	}

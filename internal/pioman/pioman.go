@@ -154,6 +154,15 @@ type Manager struct {
 
 	workers []*worker
 
+	// sweeping counts workers currently inside a sweep. While it is
+	// nonzero, sibling wake-ups are recorded in pendingWake and flushed
+	// once when the last sweep ends: several completions landing in one
+	// sweep then cost the woken worker a single sleep/wake transition
+	// instead of one per completion (it would otherwise wake, drain one
+	// task, sleep, and wake again for the next post).
+	sweeping    int
+	pendingWake []bool
+
 	// Completion is broadcast whenever Poll completed protocol events;
 	// blocked application threads re-check their predicates on it.
 	Completion *vtime.Cond
@@ -212,6 +221,7 @@ func New(e *vtime.Engine, node *marcel.Node, name string, cfg Config) *Manager {
 		}
 		m.workers = append(m.workers, w)
 	}
+	m.pendingWake = make([]bool, nw)
 	if cfg.Enabled {
 		workersGauge := cfg.Metrics.Gauge(trace.GaugeWorkers)
 		for i, w := range m.workers {
@@ -295,7 +305,7 @@ func (m *Manager) RegisterAt(s Source, c Class, shard int) int {
 func (m *Manager) Notify() {
 	for _, w := range m.workers {
 		w.notified = true
-		w.work.Broadcast()
+		m.wakeWorker(w)
 	}
 	m.notifyWaiters()
 }
@@ -306,8 +316,32 @@ func (m *Manager) Notify() {
 func (m *Manager) NotifyShard(key int) {
 	w := m.workers[m.shardOf(key)]
 	w.notified = true
-	w.work.Broadcast()
+	m.wakeWorker(w)
 	m.notifyWaiters()
+}
+
+// wakeWorker wakes w, or — while a multi-worker sweep is in progress —
+// defers the wake for the end-of-sweep flush. Deferral never loses work:
+// the notified flag and task queue are already set when it is recorded,
+// and a worker that is awake re-checks both before sleeping. Workers <= 1
+// never defers, keeping the classic schedule bit-identical.
+func (m *Manager) wakeWorker(w *worker) {
+	if m.sweeping > 0 && len(m.workers) > 1 {
+		m.pendingWake[w.id] = true
+		return
+	}
+	w.work.Broadcast()
+}
+
+// flushWakes delivers the wake-ups deferred during a sweep, one broadcast
+// per worker however many completions landed on it.
+func (m *Manager) flushWakes() {
+	for id, pending := range m.pendingWake {
+		if pending {
+			m.pendingWake[id] = false
+			m.workers[id].work.Broadcast()
+		}
+	}
 }
 
 // notifyWaiters wakes blocked application threads on notification in the
@@ -350,14 +384,14 @@ func (m *Manager) PostTaskShard(key int, t Task) {
 	w := m.workers[m.shardOf(key)]
 	w.tasks = append(w.tasks, t)
 	if m.cfg.Enabled {
-		w.work.Broadcast()
+		m.wakeWorker(w)
 		// Invite exactly once per drain cycle, on the crossing — a deep
 		// window keeps the backlog above the threshold for thousands of
 		// posts, and re-inviting on each would wake every sibling per post.
 		if len(m.workers) > 1 && w.backlog() == stealMin {
 			for _, o := range m.workers {
 				if o != w {
-					o.work.Broadcast()
+					m.wakeWorker(o)
 				}
 			}
 		}
@@ -592,6 +626,7 @@ func (m *Manager) workerLoop(p *vtime.Proc, w *worker) {
 		waited = false
 		m.node.Acquire(p)
 		end := m.rec.Span("pioman", "sweep")
+		m.sweeping++
 		n, ev := 0, 0
 		for {
 			w.notified = false
@@ -608,6 +643,10 @@ func (m *Manager) workerLoop(p *vtime.Proc, w *worker) {
 				}
 				break
 			}
+		}
+		m.sweeping--
+		if m.sweeping == 0 {
+			m.flushWakes()
 		}
 		end()
 		m.node.Release()

@@ -50,11 +50,17 @@ type Header struct {
 	ReqID uint64
 }
 
-// Cell is one fixed-size shared-memory message cell.
+// Cell is one fixed-size shared-memory message cell. Its backing storage
+// is allocated lazily on first fill: a simulated job of thousands of ranks
+// would otherwise pay for (and zero) every rank's full cell pool up front,
+// when a log-depth collective touches only a handful of cells per rank.
+// The *capacity* stays fixed — flow control and fragmentation behave
+// exactly as if the memory were preallocated.
 type Cell struct {
 	next atomic.Pointer[Cell]
 	Hdr  Header
-	buf  []byte // fixed capacity; len tracks the valid fragment bytes
+	size int    // fixed payload capacity
+	buf  []byte // grown on demand up to size; len tracks the valid fragment bytes
 }
 
 // Payload returns the valid bytes of the fragment.
@@ -63,15 +69,19 @@ func (c *Cell) Payload() []byte { return c.buf }
 // SetPayload copies p into the cell. It panics if p exceeds the capacity;
 // callers fragment messages across cells (as Nemesis does) before filling.
 func (c *Cell) SetPayload(p []byte) {
-	if len(p) > cap(c.buf) {
-		panic(fmt.Sprintf("shmq: payload %d exceeds cell capacity %d", len(p), cap(c.buf)))
+	if len(p) > c.size {
+		panic(fmt.Sprintf("shmq: payload %d exceeds cell capacity %d", len(p), c.size))
 	}
-	c.buf = c.buf[:len(p)]
+	if cap(c.buf) < len(p) {
+		c.buf = make([]byte, len(p))
+	} else {
+		c.buf = c.buf[:len(p)]
+	}
 	copy(c.buf, p)
 }
 
 // Capacity returns the fixed payload capacity of the cell.
-func (c *Cell) Capacity() int { return cap(c.buf) }
+func (c *Cell) Capacity() int { return c.size }
 
 // Queue is a lock-free multi-producer single-consumer queue of cells,
 // implementing the MPICH2/Nemesis enqueue/dequeue algorithm: enqueue swaps
@@ -142,10 +152,8 @@ func NewPool(numCells, cellSize int) (*Pool, error) {
 		return nil, fmt.Errorf("shmq: invalid pool %d cells x %d bytes", numCells, cellSize)
 	}
 	p := &Pool{Free: &Queue{}, Recv: &Queue{}, numCells: numCells, cellSize: cellSize}
-	backing := make([]byte, numCells*cellSize)
 	for i := 0; i < numCells; i++ {
-		c := &Cell{buf: backing[i*cellSize : i*cellSize : (i+1)*cellSize]}
-		p.Free.Enqueue(c)
+		p.Free.Enqueue(&Cell{size: cellSize})
 	}
 	return p, nil
 }

@@ -50,6 +50,20 @@ type RailParams struct {
 	// MaxPacket caps a single wire packet; larger submissions must be split
 	// by the caller. Zero means unlimited.
 	MaxPacket int
+	// Hier holds the incremental cost of crossing each interconnect tier of
+	// a hierarchical machine, innermost tier first (switch, then rack, ...).
+	// A transfer between nodes at topology distance d pays the first d
+	// entries on top of the base Latency/BytesPerSec. Empty means the rail
+	// behaves as a single flat switch regardless of the node map.
+	Hier []LevelCost
+}
+
+// LevelCost is the cost of crossing one interconnect tier: added one-way
+// latency, and an effective-bandwidth multiplier modelling oversubscription
+// of the uplinks (0 means 1.0, i.e. full bisection at that tier).
+type LevelCost struct {
+	ExtraLatency vtime.Duration
+	BWFactor     float64
 }
 
 // Validate reports whether the parameters are usable.
@@ -66,7 +80,32 @@ func (rp RailParams) Validate() error {
 	if rp.ChunkBytes <= 0 {
 		return fmt.Errorf("simnet: rail %s: non-positive chunk size", rp.Name)
 	}
+	for i, lc := range rp.Hier {
+		if lc.ExtraLatency < 0 {
+			return fmt.Errorf("simnet: rail %s: negative extra latency at tier %d", rp.Name, i)
+		}
+		if lc.BWFactor < 0 || lc.BWFactor > 1 {
+			return fmt.Errorf("simnet: rail %s: bandwidth factor %g at tier %d outside (0, 1]",
+				rp.Name, lc.BWFactor, i)
+		}
+	}
 	return nil
+}
+
+// pathCost returns the one-way latency and effective bandwidth of a path
+// crossing the first d hierarchy tiers.
+func (rp RailParams) pathCost(d int) (vtime.Duration, float64) {
+	lat, bw := rp.Latency, rp.BytesPerSec
+	if d > len(rp.Hier) {
+		d = len(rp.Hier)
+	}
+	for i := 0; i < d; i++ {
+		lat += rp.Hier[i].ExtraLatency
+		if f := rp.Hier[i].BWFactor; f > 0 {
+			bw *= f
+		}
+	}
+	return lat, bw
 }
 
 // WireTime returns the serialization time of size bytes at full bandwidth.
@@ -121,6 +160,9 @@ type Rail struct {
 	ID     int
 	e      *vtime.Engine
 	nics   []nic
+	// dist maps a node pair to its topology distance (crossed tiers); nil
+	// means flat (distance 0 everywhere).
+	dist func(from, to int) int
 	// Stats
 	Packets   int64
 	BytesSent int64
@@ -130,6 +172,16 @@ type Rail struct {
 type Network struct {
 	e     *vtime.Engine
 	rails []*Rail
+}
+
+// SetDistance installs the node-pair topology distance function on every
+// rail — the hook mpi.Run wires a hierarchical cluster's
+// topo.Hierarchy.Distance into. Rails whose params carry no Hier costs are
+// unaffected; nil restores the flat interpretation.
+func (n *Network) SetDistance(dist func(from, to int) int) {
+	for _, r := range n.rails {
+		r.dist = dist
+	}
 }
 
 // New instantiates a network with one NIC per (rail, node).
@@ -186,7 +238,14 @@ func (r *Rail) Transfer(from, to, size int, payload interface{}, onDelivered fun
 	now := r.e.Now()
 	tx := &r.nics[from]
 	rx := &r.nics[to]
-	wire := r.Params.WireTime(size)
+	lat, bw := r.Params.Latency, r.Params.BytesPerSec
+	if r.dist != nil && len(r.Params.Hier) > 0 {
+		lat, bw = r.Params.pathCost(r.dist(from, to))
+	}
+	wire := vtime.Duration(0)
+	if size > 0 {
+		wire = vtime.Duration(float64(size) / bw * 1e9)
+	}
 
 	start := now
 	if tx.txBusy > start {
@@ -194,7 +253,7 @@ func (r *Rail) Transfer(from, to, size int, payload interface{}, onDelivered fun
 	}
 	tx.txBusy = start.Add(wire)
 
-	headArrive := start.Add(r.Params.Latency)
+	headArrive := start.Add(lat)
 	if rx.rxBusy > headArrive {
 		headArrive = rx.rxBusy
 	}

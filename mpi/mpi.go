@@ -313,6 +313,11 @@ func Run(cfg Config, main func(*Comm)) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if !cfg.Cluster.Hierarchy.Flat() {
+		// Rack/switch tiers: rails whose params carry per-level costs now
+		// charge them by node-pair distance.
+		net.SetDistance(cfg.Cluster.Hierarchy.Distance)
+	}
 
 	// Counter registries always exist (counters cost what the old ad-hoc
 	// stat fields did); event recorders only when a Trace is configured.
@@ -367,10 +372,8 @@ func Run(cfg Config, main func(*Comm)) (*Report, error) {
 		pioCfg.Metrics = met.Rank(r)
 		pioCfg.Rec = recs[r]
 		mgrs[r] = pioman.New(e, node, fmt.Sprintf("rank%d", r), pioCfg)
-		same := make([]bool, cfg.NP)
-		for q := 0; q < cfg.NP; q++ {
-			same[q] = q != r && placement.SameNode(r, q)
-		}
+		r := r
+		same := func(q int) bool { return q != r && placement.SameNode(r, q) }
 		ch3Cfg := cfg.Stack.CH3
 		ch3Cfg.Rec = recs[r]
 		ch3Cfg.Metrics = met.Rank(r)
@@ -435,6 +438,10 @@ func wireBackend(cfg Config, e *vtime.Engine, net *simnet.Network,
 	switch cfg.Stack.Backend {
 	case cluster.BackendDirect, cluster.BackendGenericNmad:
 		cores := make([]*nmad.Core, cfg.NP)
+		// Gates are established lazily on first traffic through the Peer
+		// resolver — an all-pairs Connect pass here would cost O(NP²) gates
+		// while a log-depth collective touches O(log NP) peers per rank.
+		resolve := func(rank int) *nmad.Core { return cores[rank] }
 		for r := 0; r < cfg.NP; r++ {
 			mgr := mgrs[r]
 			// The core's deferred work and arrival notifications route to
@@ -447,6 +454,7 @@ func wireBackend(cfg Config, e *vtime.Engine, net *simnet.Network,
 				AggregMax:    cfg.Stack.AggregMax,
 				Rails:        net.Rails(),
 				MemBW:        cfg.Stack.Shm.MemBW,
+				Peer:         resolve,
 				PostTask: func(cost vtime.Duration, run func()) {
 					mgr.PostTaskShard(coreShard, pioman.Task{Cost: cost, Run: run})
 				},
@@ -454,13 +462,6 @@ func wireBackend(cfg Config, e *vtime.Engine, net *simnet.Network,
 				Rec:    recs[r],
 			})
 			coreShard = mgrs[r].Register(cores[r], pioman.ClassNet)
-		}
-		for a := 0; a < cfg.NP; a++ {
-			for b := 0; b < cfg.NP; b++ {
-				if a != b {
-					cores[a].Connect(cores[b])
-				}
-			}
 		}
 		for r := 0; r < cfg.NP; r++ {
 			if cfg.Stack.Backend == cluster.BackendDirect {

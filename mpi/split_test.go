@@ -203,6 +203,91 @@ func TestSplitNodeLeaders(t *testing.T) {
 	}
 }
 
+// TestSplitNodeRagged: SplitNode, SplitLeaders and the two-level collectives
+// on an uneven node map over a hierarchical cluster — 5 ranks on node 0, a
+// singleton on node 1, 5 more on node 2, NP odd and not a power of two. The
+// flat-map assumptions this pins against: per-node sizes derived from
+// NP/nodes division, leader election by rank arithmetic instead of the node
+// map, and two-level builders choking on a node that hosts exactly one rank.
+func TestSplitNodeRagged(t *testing.T) {
+	nodeOf := topo.Placement{0, 0, 0, 0, 0, 1, 2, 2, 2, 2, 2}
+	np := len(nodeOf)
+	cfg := Config{
+		Cluster:      cluster.XeonRacks(3),
+		Stack:        cluster.MPICH2NmadIB(),
+		NP:           np,
+		Placement:    nodeOf,
+		TwoLevelColl: true,
+	}
+	nodeSize := map[int]int{0: 5, 1: 1, 2: 5}
+	_, err := Run(cfg, func(c *Comm) {
+		me := c.Rank()
+
+		node := c.SplitNode()
+		if want := nodeSize[nodeOf[me]]; node.Size() != want {
+			t.Errorf("rank %d: node comm size %d, want %d", me, node.Size(), want)
+		}
+
+		leaders := c.SplitLeaders()
+		isLeader := me == 0 || me == 5 || me == 6
+		if isLeader {
+			if leaders == nil || leaders.Size() != 3 {
+				t.Errorf("rank %d: leader comm missing or wrong size", me)
+			}
+		} else if leaders != nil {
+			t.Errorf("rank %d: non-leader got a leader comm", me)
+		}
+
+		// Two-level collectives on the ragged map. Root 7 is a non-leader on
+		// node 2, exercising the root-promotion rule on an uneven node.
+		const root = 7
+		data := make([]byte, 100)
+		if me == root {
+			for i := range data {
+				data[i] = byte(i)
+			}
+		}
+		c.Bcast(root, data)
+		for i := range data {
+			if data[i] != byte(i) {
+				t.Errorf("rank %d: bcast byte %d = %d", me, i, data[i])
+				break
+			}
+		}
+
+		x := []float64{float64(me + 1)}
+		c.AllreduceF64(x, OpSum)
+		if want := float64(np*(np+1)) / 2; x[0] != want {
+			t.Errorf("rank %d: allreduce = %g, want %g", me, x[0], want)
+		}
+
+		mine := []byte{byte(me), byte(me * 3)}
+		out := make([][]byte, np)
+		for r := range out {
+			out[r] = make([]byte, 2)
+		}
+		c.Allgather(mine, out)
+		for r := range out {
+			if out[r][0] != byte(r) || out[r][1] != byte(r*3) {
+				t.Errorf("rank %d: allgather block %d = %v", me, r, out[r])
+			}
+		}
+		c.Barrier()
+
+		// A derived communicator inherits a ragged, sparse slice of the node
+		// map (odd ranks: nodes {0,0,1,2,2}); two-level still applies there.
+		child := c.Split(me%2, me)
+		y := []float64{1}
+		child.AllreduceF64(y, OpSum)
+		if want := float64(child.Size()); y[0] != want {
+			t.Errorf("rank %d: child allreduce = %g, want %g", me, y[0], want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestSplitNestedCollectives: subcomms of subcomms, with nonblocking
 // collectives running on the innermost level.
 func TestSplitNestedCollectives(t *testing.T) {

@@ -133,6 +133,30 @@ func TestWorkersRaceStress(t *testing.T) {
 	}
 }
 
+// TestWorkersEventBatching: multi-worker progression must not inflate the
+// engine's scheduled-event count. Worker wake-ups arriving while a sweep
+// is in progress are batched into one end-of-sweep flush — without that, a
+// worker wakes, drains one task, sleeps and wakes again for the next
+// completion, and Workers=2 costs ~4% more events than the single-worker
+// schedule on this storm. The bound pins the batching at 2%.
+func TestWorkersEventBatching(t *testing.T) {
+	run := func(w int) int64 {
+		rep, err := Run(workersCfg(8, w), stormLoad(true, 32))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		return rep.Events
+	}
+	one := run(1)
+	for _, w := range []int{2, 4} {
+		got := run(w)
+		if limit := one + one/50; got > limit {
+			t.Errorf("Workers=%d scheduled %d engine events; bound is %d (2%% over Workers=1's %d)",
+				w, got, limit, one)
+		}
+	}
+}
+
 // TestWorkersImproveVirtualTime: with deep per-shard queues, parallel
 // progression finishes the storm no later than the single worker — the
 // deterministic analogue of the paper's multicore progression win.
