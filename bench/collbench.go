@@ -37,6 +37,11 @@ type CollBenchOptions struct {
 	// Seg forces the pipeline segment size of the segmented algorithms in
 	// bytes (0 = table entry's seg, then coll.DefSegBytes).
 	Seg int
+	// Stripe forces the rail-stripe width of the rail-striped algorithms
+	// (0 = table entry's stripe, then no striping). Only meaningful on a
+	// multirail stack: with fewer than two rails the width resolves to 0
+	// whatever is forced.
+	Stripe int
 	// Table supplies calibrated selection thresholds for the auto rows
 	// (nil keeps the built-in defaults). Ignored when Algo forces a pick.
 	Table *coll.Table
@@ -73,6 +78,10 @@ type CollBenchResult struct {
 	HostMS float64
 	// Compiles and Hits are rank 0's schedule-cache counters.
 	Compiles, Hits int64
+	// Rails is the run's per-rail traffic (packets and bytes per rail) —
+	// one entry per rail on multirail stacks, so striping benchmarks can
+	// report how the payload actually split across the wires.
+	Rails []mpi.RailCounter
 	// Counters is the run's registry snapshot (cache effectiveness across
 	// all ranks, poll split, rail traffic).
 	Counters *mpi.CounterSnapshot
@@ -196,6 +205,7 @@ func CollBenchOnce(stack cluster.Stack, o CollBenchOptions) (CollBenchResult, er
 	}
 	cfg.Coll.Table = o.Table
 	cfg.Coll.SegBytes = o.Seg
+	cfg.Coll.StripeWidth = o.Stripe
 
 	var res CollBenchResult
 	start := time.Now()
@@ -250,6 +260,7 @@ func CollBenchOnce(stack cluster.Stack, o CollBenchOptions) (CollBenchResult, er
 		return res, err
 	}
 	res.Counters = rep.Counters()
+	res.Rails = res.Counters.Rails
 	return res, nil
 }
 

@@ -9,6 +9,9 @@
 // regressions on irregular layouts surface. -ops and -sizes restrict the
 // grid (the CI smoke step runs only the vector ops at one size); -json
 // emits machine-readable rows for the perf trajectory (BENCH_*.json).
+// -stack picks the stack preset; on a multirail stack, -stripe sweeps the
+// rail-stripe widths of the striped algorithms and the rows carry per-rail
+// packet/byte counters, making bandwidth additivity across rails visible.
 package main
 
 import (
@@ -22,7 +25,6 @@ import (
 	"strings"
 
 	"repro/bench"
-	"repro/cluster"
 	"repro/internal/coll"
 	"repro/internal/coll/tune"
 	"repro/internal/trace"
@@ -35,6 +37,7 @@ type row struct {
 	Algo     string  `json:"algo"`
 	Skew     string  `json:"skew,omitempty"`
 	Seg      int     `json:"seg,omitempty"`
+	Stripe   int     `json:"stripe,omitempty"`
 	Bytes    int     `json:"bytes"`
 	TwoLevel bool    `json:"two_level"`
 	Cache    bool    `json:"cache"`
@@ -42,6 +45,9 @@ type row struct {
 	HostMS   float64 `json:"host_ms"`
 	Compiles int64   `json:"compiles"`
 	Hits     int64   `json:"hits"`
+	// Rails is the run's per-rail traffic (one entry per rail of the
+	// stack), so multirail rows show how the payload split across wires.
+	Rails []mpi.RailCounter `json:"rails,omitempty"`
 	// Counters is the run-wide registry snapshot (cache effectiveness
 	// across all ranks, poll split, rail traffic).
 	Counters *mpi.CounterSnapshot `json:"counters,omitempty"`
@@ -93,6 +99,10 @@ func main() {
 		"comma-separated payload sizes in bytes")
 	segFlag := flag.String("seg", "",
 		"comma-separated pipeline segment sizes in bytes, swept for the segmented algorithms (empty = the calibrated/default segment size)")
+	stripeFlag := flag.String("stripe", "",
+		"comma-separated rail-stripe widths, swept for the rail-striped algorithms (0 = unstriped; empty = the calibrated/default width; needs a multirail -stack)")
+	stackFlag := flag.String("stack", "mpich2-nmad-ib",
+		"stack preset to bench (the colltune presets; mpich2-nmad-multi-mx-ib is the two-rail stack)")
 	jsonOut := flag.Bool("json", false, "emit JSON rows instead of the table")
 	traceOut := flag.String("trace", "",
 		"write a Chrome trace of the first swept configuration (auto algorithm, cache on) to this file, plus a summary on stderr")
@@ -131,11 +141,31 @@ func main() {
 			segSweep = append(segSweep, n)
 		}
 	}
+	// The rail-striped algorithms sweep the -stripe dimension; 0 means
+	// "whatever the tuning resolves" (table stripe, then unstriped).
+	stripeSweep := []int{0}
+	if *stripeFlag != "" {
+		stripeSweep = nil
+		for _, f := range strings.Split(*stripeFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 0 {
+				log.Fatalf("bad stripe width %q", f)
+			}
+			stripeSweep = append(stripeSweep, n)
+		}
+	}
 	ops := strings.Split(*opsFlag, ",")
 	for i := range ops {
 		ops[i] = strings.TrimSpace(ops[i])
 	}
-	stack := cluster.MPICH2NmadIB()
+	stack, ok := tune.StackByName(*stackFlag)
+	if !ok {
+		var names []string
+		for _, p := range tune.PresetStacks() {
+			names = append(names, p.Name)
+		}
+		log.Fatalf("unknown stack %q (presets: %s)", *stackFlag, strings.Join(names, ", "))
+	}
 
 	// Forced linear-depth rows are dropped beyond this rank count (see the
 	// sweep loop); the bound keeps the default grids intact while letting
@@ -144,9 +174,9 @@ func main() {
 	var skippedLinear []string
 
 	var rows []row
-	measure := func(op string, algo coll.Algo, skew string, seg, bytes int, cache bool) row {
+	measure := func(op string, algo coll.Algo, skew string, seg, stripe, bytes int, cache bool) row {
 		o := bench.CollBenchOptions{
-			Op: op, Bytes: bytes, Iters: *iters, NP: *np, Skew: skew, Seg: seg,
+			Op: op, Bytes: bytes, Iters: *iters, NP: *np, Skew: skew, Seg: seg, Stripe: stripe,
 			TwoLevel: algo == coll.AlgoTwoLevel,
 			NoCache:  !cache,
 		}
@@ -155,12 +185,12 @@ func main() {
 		}
 		r, err := bench.CollBenchOnce(stack, o)
 		if err != nil {
-			log.Fatalf("%s/%s/%s/seg%d/%dB: %v", op, algo, skew, seg, bytes, err)
+			log.Fatalf("%s/%s/%s/seg%d/stripe%d/%dB: %v", op, algo, skew, seg, stripe, bytes, err)
 		}
-		return row{Op: op, Algo: algo.String(), Skew: skew, Seg: seg, Bytes: bytes,
+		return row{Op: op, Algo: algo.String(), Skew: skew, Seg: seg, Stripe: stripe, Bytes: bytes,
 			TwoLevel: algo == coll.AlgoTwoLevel, Cache: cache,
 			PerOpUS: r.PerOp * 1e6, HostMS: r.HostMS,
-			Compiles: r.Compiles, Hits: r.Hits, Counters: r.Counters}
+			Compiles: r.Compiles, Hits: r.Hits, Rails: r.Rails, Counters: r.Counters}
 	}
 
 	if *traceOut != "" {
@@ -197,8 +227,8 @@ func main() {
 		}
 		for _, bytes := range sizes {
 			for _, skew := range skews {
-				rows = append(rows, measure(op, coll.AlgoAuto, skew, 0, bytes, true))
-				rows = append(rows, measure(op, coll.AlgoAuto, skew, 0, bytes, false))
+				rows = append(rows, measure(op, coll.AlgoAuto, skew, 0, 0, bytes, true))
+				rows = append(rows, measure(op, coll.AlgoAuto, skew, 0, 0, bytes, false))
 				for _, algo := range candidates(op) {
 					// Skip forced picks the builder would silently replace
 					// at this rank count — they duplicate another row under
@@ -219,8 +249,14 @@ func main() {
 					if coll.Segmented(algo) {
 						segs = segSweep
 					}
+					strs := []int{0}
+					if kind, err := bench.OpKindOf(op); err == nil && coll.Striped(kind, algo) {
+						strs = stripeSweep
+					}
 					for _, seg := range segs {
-						rows = append(rows, measure(op, algo, skew, seg, bytes, true))
+						for _, stripe := range strs {
+							rows = append(rows, measure(op, algo, skew, seg, stripe, bytes, true))
+						}
 					}
 				}
 			}
@@ -264,6 +300,9 @@ func main() {
 		algoLbl := r.Algo
 		if r.Seg > 0 {
 			algoLbl += "/" + bench.SizeLabel(float64(r.Seg))
+		}
+		if r.Stripe > 0 {
+			algoLbl += fmt.Sprintf("/x%d", r.Stripe)
 		}
 		fmt.Printf("%-14s %-18s %-8s %-10s %-6s %10.1fµs %8.0fms %9d/%-5d%s\n",
 			r.Op, algoLbl, skew, bench.SizeLabel(float64(r.Bytes)), cacheLbl,

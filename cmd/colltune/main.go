@@ -52,6 +52,8 @@ func main() {
 		"tiny CI grid (np=4, iters=2, two sizes); implies -check")
 	segsFlag := flag.String("segs", "",
 		"comma-separated pipeline segment sizes in bytes swept for the segmented algorithms (default 4K,16K,64K)")
+	stripesFlag := flag.String("stripes", "",
+		"comma-separated rail-stripe widths swept for the rail-striped algorithms on multirail stacks (0 = unstriped, always included; default 0 and the rail count; ignored on single-rail stacks)")
 	diff := flag.Bool("diff", false,
 		"compare two tables: colltune -diff stackA stackB (embedded stack names or JSON files)")
 	flag.Parse()
@@ -73,6 +75,15 @@ func main() {
 				log.Fatalf("bad segment size %q", f)
 			}
 			opts.Segs = append(opts.Segs, n)
+		}
+	}
+	if *stripesFlag != "" {
+		for _, f := range strings.Split(*stripesFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 0 {
+				log.Fatalf("bad stripe width %q", f)
+			}
+			opts.Stripes = append(opts.Stripes, n)
 		}
 	}
 	if *sizesFlag != "" {

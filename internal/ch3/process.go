@@ -340,7 +340,13 @@ func (p *Process) nextQSeq() uint64 {
 // charged the software overhead; same-node traffic goes through the Nemesis
 // cell queues, remote traffic through the VC send override or backend.
 func (p *Process) Isend(proc *vtime.Proc, dst int, tag, ctx int32, data []byte) *Request {
-	return p.isend(proc, dst, tag, ctx, data, false)
+	return p.isend(proc, dst, tag, ctx, data, 0, false)
+}
+
+// IsendRail is Isend with a multirail placement hint: 0 lets the backend's
+// strategy place the transfer, k > 0 pins it to rail k-1 (see Request.Rail).
+func (p *Process) IsendRail(proc *vtime.Proc, dst int, tag, ctx int32, data []byte, rail int) *Request {
+	return p.isend(proc, dst, tag, ctx, data, rail, false)
 }
 
 // IsendPooled is Isend returning a pooled transient request: the caller
@@ -348,10 +354,15 @@ func (p *Process) Isend(proc *vtime.Proc, dst int, tag, ctx int32, data []byte) 
 // request after that callback has run (the nonblocking-collective engine's
 // contract). With Config.NoPooling it degrades to a plain Isend.
 func (p *Process) IsendPooled(proc *vtime.Proc, dst int, tag, ctx int32, data []byte) *Request {
-	return p.isend(proc, dst, tag, ctx, data, !p.cfg.NoPooling)
+	return p.isend(proc, dst, tag, ctx, data, 0, !p.cfg.NoPooling)
 }
 
-func (p *Process) isend(proc *vtime.Proc, dst int, tag, ctx int32, data []byte, pooled bool) *Request {
+// IsendRailPooled is IsendPooled carrying a multirail placement hint.
+func (p *Process) IsendRailPooled(proc *vtime.Proc, dst int, tag, ctx int32, data []byte, rail int) *Request {
+	return p.isend(proc, dst, tag, ctx, data, rail, !p.cfg.NoPooling)
+}
+
+func (p *Process) isend(proc *vtime.Proc, dst int, tag, ctx int32, data []byte, rail int, pooled bool) *Request {
 	if p.cfg.SendSW > 0 {
 		proc.Sleep(p.cfg.SendSW)
 	}
@@ -361,7 +372,7 @@ func (p *Process) isend(proc *vtime.Proc, dst int, tag, ctx int32, data []byte, 
 	} else {
 		r = &Request{p: p, kind: sendReq}
 	}
-	r.dst, r.tag, r.ctx, r.data = int32(dst), tag, ctx, data
+	r.dst, r.tag, r.ctx, r.data, r.Rail = int32(dst), tag, ctx, data, rail
 	if dst == p.Rank {
 		panic("ch3: self-send must be handled by the MPI layer")
 	}

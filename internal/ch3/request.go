@@ -69,6 +69,12 @@ type Request struct {
 	data []byte
 	seq  uint32
 
+	// Rail is the multirail placement hint of a send request: 0 lets the
+	// backend's strategy place the transfer (the default), k > 0 pins it to
+	// rail k-1. The collective engine's stripe assignments ride this;
+	// shared-memory traffic and single-rail backends ignore it.
+	Rail int
+
 	// Nmad is the associated NewMadeleine request (direct module only).
 	Nmad *nmad.Request
 

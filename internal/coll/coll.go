@@ -28,6 +28,21 @@ type PtPt interface {
 	SendRecvT(dst int, sdata []byte, src int, rbuf []byte, tag int32) int
 }
 
+// RailPtPt is the optional multirail extension of PtPt: a substrate that can
+// pin a send to one rail of a multirail stack implements it, and the
+// executors then forward the rail hints the striped builders stamped onto
+// their send prims (rail encoding as on Prim.Rail: 0 auto, k > 0 pins rail
+// k-1). Substrates without rail placement — shared-memory fabrics, the
+// conformance harness's in-memory peer, single-rail stacks — simply don't
+// implement it and striped schedules execute identically to unstriped ones.
+type RailPtPt interface {
+	PtPt
+	// SendRailT is SendT with a rail placement hint.
+	SendRailT(dst int, tag int32, data []byte, rail int)
+	// SendRecvRailT is SendRecvT with a rail placement hint on the send half.
+	SendRecvRailT(dst int, sdata []byte, src int, rbuf []byte, tag int32, rail int) int
+}
+
 // Op is a reduction operator over float64 values applied elementwise.
 type Op func(acc, in float64) float64
 

@@ -273,6 +273,13 @@ func cpf(x []float64) []float64 { return append([]float64(nil), x...) }
 
 // ---- the harness ------------------------------------------------------------
 
+// confStripe, when set, is injected into every Args confExec builds: the
+// striped conformance sweep re-runs the whole harness under a two-rail
+// striping. The fabric is not rail-aware, so execution drops the hints —
+// equality then asserts striping changes which wires data would ride, never
+// what data moves.
+var confStripe Striping
+
 // confExec builds every rank's schedule on the test goroutine (asserting
 // the round-shape deadlock-freedom invariant), executes them over the
 // fabric, and returns the per-rank outputs read by out.
@@ -283,6 +290,7 @@ func confExec(t *testing.T, label string, reg Registration, np int,
 	for r := 0; r < np; r++ {
 		a := mkArgs(r)
 		a.Rank, a.Size = r, np
+		a.Stripe, a.Rails = confStripe.Width, confStripe.Rails
 		scheds[r] = Build(Key{Op: reg.Op, Algo: reg.Algo}, a)
 		checkRoundShape(t, scheds[r], fmt.Sprintf("%s/r%d", label, r))
 	}
@@ -648,5 +656,49 @@ func TestConformanceAllRegisteredPairs(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestConformanceStripedPairs re-runs the conformance sweep for every
+// striped-capable (op, algo) pair with a two-rail striping injected into the
+// builders' Args, asserting exact equality against the same straight-line
+// references. The rail hints are dropped by the fabric, so any divergence
+// would mean the striped compile path altered the data movement itself.
+func TestConformanceStripedPairs(t *testing.T) {
+	confStripe = Striping{Width: 2, Rails: []RailInfo{
+		{Name: "ib", LatencyNS: 1200, BytesPerSec: 1.25e9},
+		{Name: "mx", LatencyNS: 2000, BytesPerSec: 1.15e9},
+	}}
+	// The default payload ladder tops out far below stripeMinBytes; the
+	// striped sweep needs payloads whose sends actually carry the -width
+	// stamp (9000 B > 8 KiB directly, 2048 float64s = 16 KiB encoded).
+	oldLens := confLens
+	confLens = []int{513, 2048, 9000, 40000}
+	defer func() { confStripe, confLens = Striping{}, oldLens }()
+
+	covered := 0
+	nps := []int{1, 2, 4, 5, 8}
+	for _, reg := range Registrations() {
+		if !Striped(reg.Op, reg.Algo) {
+			continue
+		}
+		covered++
+		reg := reg
+		t.Run(fmt.Sprintf("%s/%s", reg.Op, reg.Algo), func(t *testing.T) {
+			for _, np := range nps {
+				rng := rand.New(rand.NewSource(
+					1<<40 | int64(reg.Op)<<20 | int64(reg.Algo)<<12 | int64(np)))
+				for trial := 0; trial < 3; trial++ {
+					var nodes []int
+					if reg.Algo == AlgoTwoLevel {
+						nodes = confNodes(rng, np)
+					}
+					confTrial(t, reg, np, nodes, rng)
+				}
+			}
+		})
+	}
+	if covered == 0 {
+		t.Fatal("no striped-capable (op, algo) pairs registered")
 	}
 }

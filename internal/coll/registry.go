@@ -83,6 +83,26 @@ func Segmented(a Algo) bool {
 	return false
 }
 
+// Striped reports whether (op, algo) can deal its transfers across the
+// rails of a multirail stack — the pairs whose schedules depend on a
+// stripe width (Key.Stripe). Every segmented algorithm stripes (segments
+// are the natural stripe unit), plus the two-level variants whose
+// inter-node phase moves bulk payload (bcast's leader tree, allreduce's
+// leader exchange); the other two-level ops move per-rank blocks or
+// zero-byte tokens between leaders, which striping cannot help.
+func Striped(op OpKind, a Algo) bool {
+	if Segmented(a) {
+		return true
+	}
+	if a == AlgoTwoLevel {
+		switch op {
+		case OpBcast, OpAllreduce:
+			return true
+		}
+	}
+	return false
+}
+
 // LinearDepth reports whether algo's round count grows linearly with the
 // rank count — rings, chains, linear rooted fan-in/out, pairwise exchange,
 // and the scatter-allgather bcast (its allgather phase is a ring). Their
@@ -154,6 +174,18 @@ type Args struct {
 	// building; non-segmented algorithms always run with Seg 0 so their
 	// cache keys never fragment.
 	Seg int
+
+	// Stripe is the rail-stripe width for the rail-striped algorithms: the
+	// number of rails consecutive segments (or inter-node tree edges) are
+	// dealt across, 0 or 1 disabling striping. Like Seg it is schedule
+	// *shape* — the same segments carrying different rail hints are
+	// different compiled programs — so KeyFor resolves it (Tuning.
+	// StripeWidth > table entry stripe > off) into Key.Stripe and the mpi
+	// layer copies it back before building. Rails carries the per-rail
+	// capacities the proportional stripe assigner weighs; builders only
+	// read it when Stripe > 1.
+	Stripe int
+	Rails  []RailInfo
 }
 
 // Builder compiles one rank's schedule for one (op, algorithm) pair.
@@ -178,13 +210,13 @@ func init() {
 		return BuildBcastScatterAllgather(a.Rank, a.Size, a.Root, a.Data)
 	})
 	Register(OpBcast, AlgoTwoLevel, func(a Args) *Schedule {
-		return BuildBcastTwoLevel(a.Rank, a.Nodes, a.Root, a.Data)
+		return BuildBcastTwoLevelStriped(a.Rank, a.Nodes, a.Root, a.Data, a.striping())
 	})
 	Register(OpBcast, AlgoChain, func(a Args) *Schedule {
-		return BuildBcastChain(a.Rank, a.Size, a.Root, a.Data, a.Seg)
+		return BuildBcastChainStriped(a.Rank, a.Size, a.Root, a.Data, a.Seg, a.striping())
 	})
 	Register(OpBcast, AlgoSegBinomial, func(a Args) *Schedule {
-		return BuildBcastSegBinomial(a.Rank, a.Size, a.Root, a.Data, a.Seg)
+		return BuildBcastSegBinomialStriped(a.Rank, a.Size, a.Root, a.Data, a.Seg, a.striping())
 	})
 	Register(OpReduce, AlgoBinomial, func(a Args) *Schedule {
 		return BuildReduce(a.Rank, a.Size, a.Root, a.X, a.Op)
@@ -196,10 +228,10 @@ func init() {
 		return BuildAllreduceRabenseifner(a.Rank, a.Size, a.X, a.Op)
 	})
 	Register(OpAllreduce, AlgoTwoLevel, func(a Args) *Schedule {
-		return BuildAllreduceTwoLevel(a.Rank, a.Nodes, a.X, a.Op)
+		return BuildAllreduceTwoLevelStriped(a.Rank, a.Nodes, a.X, a.Op, a.striping())
 	})
 	Register(OpAllreduce, AlgoSegRing, func(a Args) *Schedule {
-		return BuildAllreduceSegRing(a.Rank, a.Size, a.X, a.Op, a.Seg)
+		return BuildAllreduceSegRingStriped(a.Rank, a.Size, a.X, a.Op, a.Seg, a.striping())
 	})
 	Register(OpAllgather, AlgoRing, func(a Args) *Schedule {
 		return BuildAllgather(a.Rank, a.Size, a.Mine, a.Out)
@@ -283,10 +315,23 @@ func init() {
 // and forced algorithms are validated by Validate — mpi.Run rejects
 // malformed tuning instead of silently falling back.
 type Tuning struct {
-	Force         map[OpKind]Algo
-	Table         *Table
-	Stack         string
-	SegBytes      int
+	Force    map[OpKind]Algo
+	Table    *Table
+	Stack    string
+	SegBytes int
+
+	// StripeWidth forces the rail-stripe width of the rail-striped
+	// algorithms (see Striped); 0 defers to the table entry's stripe field,
+	// and striping stays off when neither names one — unlike segment size
+	// there is no nonzero default, because dealing segments across rails
+	// only pays when calibration (or the caller) says the stack's rails
+	// add up. Rails describes the rails selection runs over; mpi.Run fills
+	// it from the stack configuration. Fewer than two rails disables
+	// striping regardless of any override: single-rail stacks must compile
+	// bit-identical schedules with or without this PR-era machinery.
+	StripeWidth int
+	Rails       []RailInfo
+
 	BcastLong     int
 	AllreduceLong int
 	AllgatherLong int
@@ -317,6 +362,53 @@ func (t *Tuning) SegFor(op OpKind, np, bytes int) int {
 		}
 	}
 	return DefSegBytes
+}
+
+// StripeFor resolves the rail-stripe width a rail-striped algorithm runs
+// with for op on np ranks at bytes of payload: fewer than two known rails
+// means 0 (no striping, unconditionally), otherwise StripeWidth forces it,
+// otherwise the calibrated table entry matching this rank count and payload
+// supplies it; with neither, striping stays off. Widths clamp to the rail
+// count — a table calibrated on a wider stack cannot make the assigner deal
+// to rails that don't exist. The precedence mirrors SegFor minus the
+// nonzero default (see Tuning.StripeWidth on why).
+func (t *Tuning) StripeFor(op OpKind, np, bytes int) int {
+	if t == nil || len(t.Rails) < 2 {
+		return 0
+	}
+	w := 0
+	if t.StripeWidth > 0 {
+		w = t.StripeWidth
+	} else if t.Table != nil {
+		if e, ok := t.Table.LookupEntry(op, np, bytes); ok && e.Stripe > 0 {
+			w = e.Stripe
+		}
+	}
+	if w > len(t.Rails) {
+		w = len(t.Rails)
+	}
+	if w < 2 {
+		return 0
+	}
+	return w
+}
+
+// RailProfile canonicalizes the tuning's rail set for the cache key: rail
+// names joined by '+', empty without rails. Part of Key for striped shapes
+// so a schedule striped over one rail set never survives into a run over
+// another.
+func (t *Tuning) RailProfile() string {
+	if t == nil || len(t.Rails) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, r := range t.Rails {
+		if i > 0 {
+			sb.WriteByte('+')
+		}
+		sb.WriteString(r.Name)
+	}
+	return sb.String()
 }
 
 func (t *Tuning) bcastLong() int {
@@ -490,7 +582,18 @@ type Key struct {
 	// different round program, so two seg values must never share a cached
 	// schedule.
 	Seg int
-	Sig string
+	// Stripe is the resolved rail-stripe width for rail-striped algorithms
+	// (0 otherwise), and Rails the profile of the rail set it was resolved
+	// against. Stripe is shape for the same reason Seg is: the same
+	// segments dealt across a different number of rails carry different
+	// placement hints. Rails guards the remaining aliasing — the same width
+	// over a different rail set deals a different sequence (bandwidth
+	// weights), so a cached striped shape must not survive a rail-set
+	// change. Both stay zero for unstriped invocations, keeping their keys
+	// byte-identical to the pre-striping era.
+	Stripe int
+	Rails  string
+	Sig    string
 }
 
 // KeyFor selects the algorithm and builds the canonical key for one
@@ -520,6 +623,12 @@ func KeyFor(t *Tuning, op OpKind, a Args, twoLevel bool) Key {
 	k := Key{Op: op, Algo: algo, Root: rootOf(op, a), NP: a.Size, Sig: sigOf(op, a)}
 	if Segmented(algo) {
 		k.Seg = t.SegFor(op, a.Size, bytes)
+	}
+	if Striped(op, algo) {
+		if w := t.StripeFor(op, a.Size, bytes); w > 0 {
+			k.Stripe = w
+			k.Rails = t.RailProfile()
+		}
 	}
 	if t != nil {
 		k.Stack = t.Stack

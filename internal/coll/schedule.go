@@ -64,6 +64,16 @@ type Prim struct {
 	In []byte
 	// Op is the reduction operator.
 	Op Op
+	// Rail is the multirail placement hint of a send prim: 0 lets the
+	// transport's strategy place the transfer (the default), k > 0 pins it
+	// to rail k-1, and -w < 0 asks the transport to stripe the payload
+	// across the first w rails (nmad forces the rendezvous path and
+	// water-fills the bytes over those rails). The striped builders stamp
+	// the negative form on large sends (see stripe.go); executors forward
+	// the hint when the substrate is rail-aware (RailPtPt) and drop it
+	// otherwise, so the hint never changes what data moves — only which
+	// wires it moves on.
+	Rail int
 }
 
 // Round is one schedule step: the transfers of Comm all complete before the
@@ -123,6 +133,7 @@ func ExecBlocking(p PtPt, s *Schedule, tag int32) {
 // ExecBlockingRec is ExecBlocking with per-round trace slices recorded on
 // rec's rounds track (nil rec records nothing).
 func ExecBlockingRec(p PtPt, s *Schedule, tag int32, rec *trace.Recorder) {
+	rp, railOK := p.(RailPtPt)
 	name := ""
 	if rec.Enabled() {
 		name = s.Key.Op.String() + "/" + s.Key.Algo.String()
@@ -147,11 +158,19 @@ func ExecBlockingRec(p PtPt, s *Schedule, tag int32, rec *trace.Recorder) {
 			}
 		}
 		if !multi && send != nil && recv != nil {
-			p.SendRecvT(send.Peer, SendPayload(send), recv.Peer, recv.Buf, tag)
+			if railOK && send.Rail != 0 {
+				rp.SendRecvRailT(send.Peer, SendPayload(send), recv.Peer, recv.Buf, tag, send.Rail)
+			} else {
+				p.SendRecvT(send.Peer, SendPayload(send), recv.Peer, recv.Buf, tag)
+			}
 		} else {
 			for i := range rd.Comm {
 				if pr := &rd.Comm[i]; pr.Kind == PrimSend {
-					p.SendT(pr.Peer, tag, SendPayload(pr))
+					if railOK && pr.Rail != 0 {
+						rp.SendRailT(pr.Peer, tag, SendPayload(pr), pr.Rail)
+					} else {
+						p.SendT(pr.Peer, tag, SendPayload(pr))
+					}
 				}
 			}
 			for i := range rd.Comm {
@@ -587,12 +606,22 @@ func BuildBarrierTwoLevel(rank int, nodes []int) *Schedule {
 // per-node leaders with a binomial tree over the network, each leader then
 // broadcasts over shared memory inside its node.
 func BuildBcastTwoLevel(rank int, nodes []int, root int, data []byte) *Schedule {
+	return BuildBcastTwoLevelStriped(rank, nodes, root, data, Striping{})
+}
+
+// BuildBcastTwoLevelStriped is BuildBcastTwoLevel with the inter-node
+// (leader tree) sends dealt across rails — parallel tree edges out of one
+// leader ride different rails. The intra-node phase runs over shared memory
+// and is never striped. The zero Striping compiles the identical unstriped
+// schedule.
+func BuildBcastTwoLevelStriped(rank int, nodes []int, root int, data []byte, st Striping) *Schedule {
 	s := &Schedule{}
 	if len(nodes) == 1 {
 		return s
 	}
 	leaders, byNode := leadersOf(nodes, root)
 	binomialBcastBytes(s, sliceGroup(leaders), root, rank, data)
+	stampRails(s, 0, st)
 	local := byNode[nodes[rank]]
 	binomialBcastBytes(s, sliceGroup(local), leaderFor(nodes, byNode, root, rank), rank, data)
 	return s
@@ -603,6 +632,14 @@ func BuildBcastTwoLevel(rank int, nodes []int, root int, data []byte) *Schedule 
 // leaders over the network, binomial broadcast of the result back over
 // shared memory. Commutative op only.
 func BuildAllreduceTwoLevel(rank int, nodes []int, x []float64, op Op) *Schedule {
+	return BuildAllreduceTwoLevelStriped(rank, nodes, x, op, Striping{})
+}
+
+// BuildAllreduceTwoLevelStriped is BuildAllreduceTwoLevel with the
+// inter-node (leader allreduce) sends dealt across rails; the intra-node
+// reduce and broadcast phases run over shared memory and are never striped.
+// The zero Striping compiles the identical unstriped schedule.
+func BuildAllreduceTwoLevelStriped(rank int, nodes []int, x []float64, op Op, st Striping) *Schedule {
 	s := &Schedule{}
 	if len(nodes) == 1 {
 		return s
@@ -611,7 +648,9 @@ func BuildAllreduceTwoLevel(rank int, nodes []int, x []float64, op Op) *Schedule
 	local := byNode[nodes[rank]]
 	lead := leaderFor(nodes, byNode, -1, rank)
 	binomialReduce(s, sliceGroup(local), lead, rank, x, op)
+	interLo := len(s.Rounds)
 	rdAllreduce(s, sliceGroup(leaders), rank, x, op)
+	stampRails(s, interLo, st)
 	binomialBcastF64(s, sliceGroup(local), lead, rank, x)
 	return s
 }

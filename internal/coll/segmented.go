@@ -57,6 +57,13 @@ func segBounds(n, seg int) []int {
 // which is why the chain wins for large payloads despite its p-1 latency
 // terms.
 func BuildBcastChain(rank, size, root int, data []byte, seg int) *Schedule {
+	return BuildBcastChainStriped(rank, size, root, data, seg, Striping{})
+}
+
+// BuildBcastChainStriped is BuildBcastChain with the chain's per-segment
+// forwards dealt across rails (see stripe.go); the zero Striping compiles
+// the identical unstriped schedule.
+func BuildBcastChainStriped(rank, size, root int, data []byte, seg int, st Striping) *Schedule {
 	s := &Schedule{}
 	if size == 1 {
 		return s
@@ -78,6 +85,7 @@ func BuildBcastChain(rank, size, root int, data []byte, seg int) *Schedule {
 			s.Rounds = append(s.Rounds, rd)
 		}
 	}
+	stampRails(s, 0, st)
 	return s
 }
 
@@ -89,6 +97,14 @@ func BuildBcastChain(rank, size, root int, data []byte, seg int) *Schedule {
 // the monolithic binomial tree, but a node's children stop waiting for the
 // whole payload to land before the forwarding starts.
 func BuildBcastSegBinomial(rank, size, root int, data []byte, seg int) *Schedule {
+	return BuildBcastSegBinomialStriped(rank, size, root, data, seg, Striping{})
+}
+
+// BuildBcastSegBinomialStriped is BuildBcastSegBinomial with each node's
+// per-segment forwards dealt across rails — consecutive child sends ride
+// different rails, so an interior node's fan-out streams in parallel over
+// the stack. The zero Striping compiles the identical unstriped schedule.
+func BuildBcastSegBinomialStriped(rank, size, root int, data []byte, seg int, st Striping) *Schedule {
 	s := &Schedule{}
 	if size == 1 {
 		return s
@@ -135,6 +151,7 @@ func BuildBcastSegBinomial(rank, size, root int, data []byte, seg int) *Schedule
 			}
 		}
 	}
+	stampRails(s, 0, st)
 	return s
 }
 
@@ -148,6 +165,13 @@ func BuildBcastSegBinomial(rank, size, root int, data []byte, seg int) *Schedule
 // Bandwidth-optimal (~2n elements per rank, like Rabenseifner) at any rank
 // count, power of two or not. Commutative op only.
 func BuildAllreduceSegRing(rank, size int, x []float64, op Op, seg int) *Schedule {
+	return BuildAllreduceSegRingStriped(rank, size, x, op, seg, Striping{})
+}
+
+// BuildAllreduceSegRingStriped is BuildAllreduceSegRing with the ring's
+// per-sub-segment sends dealt across rails; the zero Striping compiles the
+// identical unstriped schedule.
+func BuildAllreduceSegRingStriped(rank, size int, x []float64, op Op, seg int, st Striping) *Schedule {
 	s := &Schedule{}
 	if size == 1 {
 		return s
@@ -221,5 +245,6 @@ func BuildAllreduceSegRing(rank, size int, x []float64, op Op, seg int) *Schedul
 		wr := ((rank-t)%size + size) % size
 		exchange(ws, wr, func(lo, hi int) Prim { return decodeP(x[lo:hi], rbuf) })
 	}
+	stampRails(s, 0, st)
 	return s
 }

@@ -27,11 +27,16 @@ import (
 // MaxBytes bytes (inclusive). A negative MaxBytes means unbounded and must
 // terminate the list. For segmented algorithms Seg records the calibrated
 // pipeline segment size in bytes (0 = DefSegBytes); validation rejects a
-// seg on a non-segmented algorithm as dead config.
+// seg on a non-segmented algorithm as dead config. For rail-striped
+// algorithms Stripe records the calibrated rail-stripe width (0 = no
+// striping; widths beyond the running stack's rail count clamp at
+// resolution, see Tuning.StripeFor); validation likewise rejects a stripe
+// on an algorithm that cannot stripe.
 type TableEntry struct {
 	MaxBytes int  `json:"max_bytes"`
 	Algo     Algo `json:"algo"`
 	Seg      int  `json:"seg,omitempty"`
+	Stripe   int  `json:"stripe,omitempty"`
 }
 
 // NPBand scopes one list of byte-threshold entries to a rank-count range:
@@ -177,6 +182,14 @@ func (t *Table) validateEntries(op OpKind, entries []TableEntry) error {
 		if e.Seg > 0 && !Segmented(e.Algo) {
 			return fmt.Errorf("coll: table for stack %q: op %s entry %d: seg %d on non-segmented algorithm %s (dead config)",
 				t.Stack, op, i, e.Seg, e.Algo)
+		}
+		if e.Stripe < 0 {
+			return fmt.Errorf("coll: table for stack %q: op %s entry %d: negative stripe %d",
+				t.Stack, op, i, e.Stripe)
+		}
+		if e.Stripe > 0 && !Striped(op, e.Algo) {
+			return fmt.Errorf("coll: table for stack %q: op %s entry %d: stripe %d on non-striped algorithm %s (dead config)",
+				t.Stack, op, i, e.Stripe, e.Algo)
 		}
 		if e.MaxBytes < 0 {
 			if i != len(entries)-1 {
@@ -365,6 +378,9 @@ func (t *Tuning) Validate() error {
 	}
 	if t.SegBytes < 0 {
 		return fmt.Errorf("coll: tuning forces negative segment size %d", t.SegBytes)
+	}
+	if t.StripeWidth < 0 {
+		return fmt.Errorf("coll: tuning forces negative stripe width %d", t.StripeWidth)
 	}
 	for op, a := range t.Force {
 		if op >= numOps {

@@ -266,3 +266,55 @@ func TestStackByName(t *testing.T) {
 		t.Error("unknown stack resolved")
 	}
 }
+
+// TestStripeLadder: the stripe sweep dimension resolves to {0} on
+// single-rail stacks, defaults to {0, railCount} on multirail ones, always
+// forces the unstriped point into a user list, and drops invalid widths.
+func TestStripeLadder(t *testing.T) {
+	for _, tc := range []struct {
+		opts  []int
+		rails int
+		want  []int
+	}{
+		{nil, 1, []int{0}},
+		{[]int{2}, 1, []int{0}},
+		{nil, 2, []int{0, 2}},
+		{[]int{2}, 2, []int{0, 2}},
+		{[]int{2, 2, 0}, 2, []int{0, 2}},
+		{[]int{5, -1}, 2, []int{0}}, // out-of-range widths dropped
+		{[]int{2, 3}, 3, []int{0, 2, 3}},
+	} {
+		got := stripeLadder(append([]int(nil), tc.opts...), tc.rails)
+		if len(got) != len(tc.want) {
+			t.Errorf("stripeLadder(%v, %d) = %v, want %v", tc.opts, tc.rails, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("stripeLadder(%v, %d) = %v, want %v", tc.opts, tc.rails, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+// TestStripeSweepSingleRailByteIdentical: adding stripe options to a
+// single-rail sweep changes nothing — the emitted table is byte-identical,
+// so the pre-striping calibrations stay reproducible.
+func TestStripeSweepSingleRailByteIdentical(t *testing.T) {
+	base, err := Sweep(cluster.MPICH2NmadIB(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := smallOpts()
+	o.Stripes = []int{2}
+	with, err := Sweep(cluster.MPICH2NmadIB(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := base.Table.JSON()
+	b2, _ := with.Table.JSON()
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("stripe options perturbed a single-rail sweep:\n%s\nvs\n%s", b1, b2)
+	}
+}

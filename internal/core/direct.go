@@ -87,7 +87,7 @@ func (d *Direct) Isend(proc *vtime.Proc, req *ch3.Request) {
 		panic(fmt.Sprintf("core[%d]: no gate to %d", d.p.Rank, req.Dest()))
 	}
 	rctx, _, rtag := reqTriple(req)
-	nr := d.nm.ISend(gate, encodeTag(rctx, d.p.Rank, rtag), req.Data())
+	nr := d.nm.ISendRail(gate, encodeTag(rctx, d.p.Rank, rtag), req.Data(), req.Rail)
 	req.Nmad = nr
 	d.NetSends++
 	nr.SetOnComplete(func(*nmad.Request) { req.Complete() })

@@ -35,9 +35,12 @@ type Req interface {
 }
 
 // Transport issues nonblocking point-to-point transfers on the collective
-// engine's private context. Implemented by mpi.Comm.
+// engine's private context. Implemented by mpi.Comm. rail is the send's
+// multirail placement hint, encoded as on coll.Prim.Rail: 0 lets the
+// backend's strategy place the transfer, k > 0 pins it to rail k-1;
+// single-rail transports ignore it.
 type Transport interface {
-	Isend(proc *vtime.Proc, dst int, tag int32, data []byte) Req
+	Isend(proc *vtime.Proc, dst int, tag int32, data []byte, rail int) Req
 	Irecv(proc *vtime.Proc, src int, tag int32, buf []byte) Req
 }
 
@@ -236,7 +239,7 @@ func (op *Op) issueRounds(proc *vtime.Proc) {
 			op.pending++
 			var r Req
 			if pr.Kind == coll.PrimSend {
-				r = op.eng.tr.Isend(proc, pr.Peer, tag, coll.SendPayload(pr))
+				r = op.eng.tr.Isend(proc, pr.Peer, tag, coll.SendPayload(pr), pr.Rail)
 			} else {
 				r = op.eng.tr.Irecv(proc, pr.Peer, tag, pr.Buf)
 			}

@@ -74,7 +74,7 @@ func newFakeNet(e *vtime.Engine, n int, lat vtime.Duration, pio bool) *fakeNet {
 	return net
 }
 
-func (s *fakeSide) Isend(proc *vtime.Proc, dst int, tag int32, data []byte) Req {
+func (s *fakeSide) Isend(proc *vtime.Proc, dst int, tag int32, data []byte, rail int) Req {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	peer := s.net.sides[dst]

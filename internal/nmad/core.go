@@ -199,20 +199,44 @@ func (c *Core) Gate(rank int) *Gate {
 // actual submission is decided by the strategy at the next progress point —
 // this is the "uncoupled network request submission" of §2.2.
 func (c *Core) ISend(g *Gate, tag uint64, data []byte) *Request {
+	return c.ISendRail(g, tag, data, 0)
+}
+
+// ISendRail is ISend with a rail hint: 0 lets the strategy place the pack
+// (the default), k > 0 pins it to rail k-1, and -w < 0 stripes the payload
+// across the first min(w, rail count) rails. A pinned eager pack submits on
+// its rail, and a pinned rendezvous payload stays whole on that rail instead
+// of going through the split strategy (the stripe already distributes
+// segments). A striped pack always takes the rendezvous path, whatever its
+// size: rendezvous data chunks carry explicit offsets and reassemble
+// correctly however the rails reorder them, whereas two eager packs of one
+// (gate, tag) stream on different rails could arrive — and match posted
+// receives — out of order. The collective engine's rail-striped schedules
+// ride the negative form. Out-of-range hints (and stripe widths that clamp
+// below two rails) fall back to strategy placement.
+func (c *Core) ISendRail(g *Gate, tag uint64, data []byte, rail int) *Request {
 	r := &Request{kind: reqSend, core: c, gate: g, tag: tag, data: data, seq: g.nextSeq}
+	if rail > 0 && rail <= len(c.opt.Rails) {
+		r.pin = rail
+	} else if rail < 0 && len(c.opt.Rails) >= 2 {
+		if w := -rail; w >= 2 {
+			if w > len(c.opt.Rails) {
+				w = len(c.opt.Rails)
+			}
+			r.pin = -w
+		}
+	}
 	g.nextSeq++
-	if len(data) > c.opt.RdvThreshold {
+	if len(data) > c.opt.RdvThreshold || r.pin < 0 {
 		c.opt.Rec.Instant("proto", "net-rdv",
 			trace.Int64("dst", int64(g.PeerRank)), trace.Int64("bytes", int64(len(data))))
-	} else {
-		c.opt.Rec.Instant("proto", "net-eager",
-			trace.Int64("dst", int64(g.PeerRank)), trace.Int64("bytes", int64(len(data))))
-	}
-	if len(data) > c.opt.RdvThreshold {
 		r.rdv = true
 		c.nextPackID++
 		r.id = c.nextPackID
 		c.sendRdv[r.id] = r
+	} else {
+		c.opt.Rec.Instant("proto", "net-eager",
+			trace.Int64("dst", int64(g.PeerRank)), trace.Int64("bytes", int64(len(data))))
 	}
 	g.outlist = append(g.outlist, r)
 	if g.sendFifo == nil {
@@ -371,6 +395,22 @@ func (c *Core) startRdvRecv(r *Request, g *Gate, tag uint64, msgLen int, packID 
 func (c *Core) sendControl(g *Gate, en Entry) {
 	pw := &Packet{From: c.rank, To: g.PeerRank, Entries: []Entry{en}}
 	c.submit(g, pw, c.bestRail(0), nil, false)
+}
+
+// railFor returns the rail a send pack rides: its pin when set, otherwise
+// the sampling-driven best rail for its size. A striped pack (pin < 0) only
+// ever sends its header-only RTS through here — the data chunks are placed
+// by sendRdvData — and that RTS rides the control rail (bestRail(0), the
+// same lane CTS replies use) so the RTS stream of one (gate, tag) flow stays
+// FIFO whatever the payload sizes, preserving matching order at the peer.
+func (c *Core) railFor(r *Request) int {
+	if r.pin > 0 {
+		return r.pin - 1
+	}
+	if r.pin < 0 {
+		return c.bestRail(0)
+	}
+	return c.bestRail(len(r.data))
 }
 
 // bestRail returns the index of the rail with the lowest estimated transfer
@@ -589,7 +629,26 @@ func (c *Core) sendRdvData(r *Request, recvID uint64, grant int) {
 		return
 	}
 	data := r.data[:grant]
-	shares := c.strat.SplitRdv(c, len(data))
+	var shares []Share
+	switch {
+	case r.pin > 0:
+		// Pinned rendezvous payloads bypass the split strategy: the pin
+		// names one rail and re-splitting would defeat it.
+		shares = []Share{{Rail: r.pin - 1, Offset: 0, Len: len(data)}}
+	case r.pin < 0:
+		// Striped payloads water-fill over exactly the stripe's rails —
+		// the first -pin of the stack — so a schedule-level stripe width
+		// is honoured even under strategies that would not split on their
+		// own (aggreg keeps eager-sized packs whole) or would split over
+		// a different rail set.
+		active := make([]int, -r.pin)
+		for i := range active {
+			active[i] = i
+		}
+		shares = balancedShares(c, active, len(data))
+	default:
+		shares = c.strat.SplitRdv(c, len(data))
+	}
 	outstanding := len(shares)
 	for _, sh := range shares {
 		chunk := data[sh.Offset : sh.Offset+sh.Len]

@@ -3,6 +3,7 @@ package nmad
 import (
 	"fmt"
 
+	"repro/internal/simnet"
 	"repro/internal/vtime"
 )
 
@@ -96,7 +97,7 @@ func (stratDefault) Schedule(c *Core, g *Gate) {
 		r := g.outlist[0]
 		g.outlist = g.outlist[1:]
 		pw := &Packet{From: c.rank, To: g.PeerRank, Entries: []Entry{packEntry(c, r)}}
-		c.submit(g, pw, c.bestRail(len(r.data)), []*Request{r}, false)
+		c.submit(g, pw, c.railFor(r), []*Request{r}, false)
 	}
 }
 
@@ -112,7 +113,8 @@ func (stratAggreg) Name() string { return "aggreg" }
 
 func (stratAggreg) Schedule(c *Core, g *Gate) {
 	for len(g.outlist) > 0 {
-		rail := c.bestRail(len(g.outlist[0].data))
+		head := g.outlist[0]
+		rail := c.railFor(head)
 		if c.opt.Rails[rail].Busy(c.node) {
 			// NIC busy: keep the window of packets and revisit when idle.
 			c.armIdleKick(g, rail)
@@ -125,6 +127,12 @@ func (stratAggreg) Schedule(c *Core, g *Gate) {
 		payload := 0
 		for len(g.outlist) > 0 {
 			r := g.outlist[0]
+			if r.pin != head.pin {
+				// Differently-pinned packs must not share a wrapper: the
+				// wrapper rides one rail and cross-aggregating would silently
+				// move a pinned pack off its assigned rail.
+				break
+			}
 			sz := len(r.data)
 			if r.rdv {
 				sz = 0 // RTS entries are header-only
@@ -169,9 +177,17 @@ func (stratSplit) SplitRdv(c *Core, size int) []Share {
 	for i := range active {
 		active[i] = i
 	}
+	return balancedShares(c, active, size)
+}
+
+// balancedShares water-fills size bytes over the given rail set, iteratively
+// dropping rails whose share falls below MinSplit (but always keeping one),
+// so small payloads naturally collapse onto the set's fastest rail. The
+// split strategy runs it over every rail; striped sends (Request.pin < 0)
+// run it over the stripe's rail prefix only.
+func balancedShares(c *Core, active []int, size int) []Share {
 	for {
 		shares := waterfill(c, active, size)
-		// Drop rails with shares below MinSplit (but always keep one).
 		kept := active[:0]
 		for i, s := range shares {
 			if s >= c.opt.MinSplit || len(active) == 1 {
@@ -179,7 +195,14 @@ func (stratSplit) SplitRdv(c *Core, size int) []Share {
 			}
 		}
 		if len(kept) == 0 {
-			kept = append(kept, c.bestRail(size))
+			best := active[0]
+			for _, a := range active[1:] {
+				if c.opt.Rails[a].Params.EstimateXfer(size) <
+					c.opt.Rails[best].Params.EstimateXfer(size) {
+					best = a
+				}
+			}
+			kept = append(kept, best)
 		}
 		if len(kept) == len(active) {
 			return buildShares(active, shares, size)
@@ -219,6 +242,19 @@ func (stratSplitStatic) SplitRdv(c *Core, size int) []Share {
 		off += l
 	}
 	return out
+}
+
+// SplitPreview returns the shares strategy kind would assign to a
+// rendezvous payload of size bytes over rails, without running any traffic
+// — the pure sampling-derived split computation of §2.2, exposed so
+// benchmark tooling (cmd/multirail -json) can report split ratios
+// machine-readably. minSplit 0 means the library default.
+func SplitPreview(kind StrategyKind, rails []*simnet.Rail, minSplit, size int) []Share {
+	if minSplit == 0 {
+		minSplit = 4 << 10
+	}
+	c := &Core{opt: Options{Rails: rails, MinSplit: minSplit}}
+	return newStrategy(kind).SplitRdv(c, size)
 }
 
 // waterfill returns per-rail byte counts (aligned with active) equalizing

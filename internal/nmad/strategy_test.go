@@ -106,6 +106,146 @@ func TestThreeRailWaterfill(t *testing.T) {
 	}
 }
 
+func TestWaterfillSingleActiveRail(t *testing.T) {
+	// With one active rail the analytic solve degenerates: the whole payload
+	// lands on it, regardless of its latency or bandwidth.
+	ev := newEnv(t, 2, StratSplitBalance, ibRail(), mxRail())
+	for _, size := range []int{1, 4096, 1 << 20} {
+		shares := waterfill(ev.cores[0], []int{1}, size)
+		if len(shares) != 1 || shares[0] != size {
+			t.Fatalf("single-rail waterfill(%d) = %v, want [%d]", size, shares, size)
+		}
+	}
+}
+
+func TestMinSplitDropsToOneRail(t *testing.T) {
+	// A payload whose slower-rail share falls below MinSplit must collapse
+	// onto a single rail — the drop loop keeps exactly one share covering
+	// the whole payload.
+	ev := newEnv(t, 2, StratSplitBalance, ibRail(), mxRail())
+	ev.cores[0].opt.MinSplit = 1 << 20 // every secondary share is too small
+	shares := stratSplit{}.SplitRdv(ev.cores[0], 256<<10)
+	if len(shares) != 1 {
+		t.Fatalf("want 1 share after MinSplit drop, got %v", shares)
+	}
+	if shares[0].Offset != 0 || shares[0].Len != 256<<10 {
+		t.Fatalf("surviving share must cover the payload: %v", shares)
+	}
+	if shares[0].Rail != ev.cores[0].bestRail(256<<10) {
+		t.Fatalf("surviving share on rail %d, want the best rail", shares[0].Rail)
+	}
+}
+
+func TestWaterfillEqualLatencyRails(t *testing.T) {
+	// Equal-latency rails exercise the sorted-insert tie path: with L equal,
+	// the shares are exactly proportional to bandwidth and conservation
+	// holds to the byte.
+	fast := ibRail()
+	fast.Latency = 1500
+	fast.BytesPerSec = 2e9
+	slow := mxRail()
+	slow.Latency = 1500
+	slow.BytesPerSec = 1e9
+	ev := newEnv(t, 2, StratSplitBalance, fast, slow)
+	const size = 3 << 20
+	shares := stratSplit{}.SplitRdv(ev.cores[0], size)
+	if len(shares) != 2 {
+		t.Fatalf("want 2 shares, got %v", shares)
+	}
+	total := 0
+	for _, s := range shares {
+		total += s.Len
+	}
+	if total != size {
+		t.Fatalf("conservation broken: %d != %d", total, size)
+	}
+	// 2:1 bandwidth ratio → 2:1 shares (± rounding absorbed by the fastest).
+	if d := shares[0].Len - 2*shares[1].Len; d < -2 || d > 2 {
+		t.Fatalf("equal-latency shares not bandwidth-proportional: %v", shares)
+	}
+}
+
+func TestISendRailPinsEagerPack(t *testing.T) {
+	// An eager pack pinned to the slower rail must ride it even though the
+	// strategy would pick the faster one.
+	ev := newEnv(t, 2, StratSplitBalance, ibRail(), mxRail())
+	msg := make([]byte, 4<<10)
+	got := make([]byte, len(msg))
+	ev.run(t, func(rank int, p *vtime.Proc) {
+		if rank == 0 {
+			ev.wait(0, p, ev.cores[0].ISendRail(ev.cores[0].Gate(1), 3, msg, 2))
+		} else {
+			ev.wait(1, p, ev.cores[1].IRecv(ev.cores[1].Gate(0), 3, ^uint64(0), got))
+		}
+	})
+	if !bytes.Equal(got, msg) {
+		t.Fatal("pinned eager send corrupted payload")
+	}
+	if ev.net.Rail(1).Packets == 0 {
+		t.Fatal("pinned pack never touched rail 1")
+	}
+	if ev.net.Rail(0).BytesSent > int64(len(msg)/2) {
+		t.Fatalf("pinned pack leaked onto rail 0: %d bytes", ev.net.Rail(0).BytesSent)
+	}
+}
+
+func TestISendRailPinsRdvWhole(t *testing.T) {
+	// A pinned rendezvous payload must stay whole on its rail instead of
+	// being split by the balance strategy (only control traffic may ride
+	// the other rail).
+	ev := newEnv(t, 2, StratSplitBalance, ibRail(), mxRail())
+	msg := make([]byte, 1<<20)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	got := make([]byte, len(msg))
+	ev.run(t, func(rank int, p *vtime.Proc) {
+		if rank == 0 {
+			ev.wait(0, p, ev.cores[0].ISendRail(ev.cores[0].Gate(1), 3, msg, 2))
+		} else {
+			ev.wait(1, p, ev.cores[1].IRecv(ev.cores[1].Gate(0), 3, ^uint64(0), got))
+		}
+	})
+	if !bytes.Equal(got, msg) {
+		t.Fatal("pinned rendezvous corrupted payload")
+	}
+	if mx := ev.net.Rail(1).BytesSent; mx < int64(len(msg)) {
+		t.Fatalf("pinned rail carried %d bytes, want >= %d", mx, len(msg))
+	}
+	if ib := ev.net.Rail(0).BytesSent; ib > 4<<10 {
+		t.Fatalf("payload leaked onto unpinned rail: %d bytes", ib)
+	}
+}
+
+func TestISendRailOutOfRangeFallsBack(t *testing.T) {
+	// Hints beyond the rail count degrade to strategy placement rather than
+	// panicking or dropping traffic.
+	ev := newEnv(t, 2, StratSplitBalance, ibRail(), mxRail())
+	msg := []byte("fallback")
+	got := make([]byte, len(msg))
+	ev.run(t, func(rank int, p *vtime.Proc) {
+		if rank == 0 {
+			ev.wait(0, p, ev.cores[0].ISendRail(ev.cores[0].Gate(1), 3, msg, 9))
+		} else {
+			ev.wait(1, p, ev.cores[1].IRecv(ev.cores[1].Gate(0), 3, ^uint64(0), got))
+		}
+	})
+	if !bytes.Equal(got, msg) {
+		t.Fatal("out-of-range hint corrupted payload")
+	}
+}
+
+func TestSplitPreviewMatchesStrategy(t *testing.T) {
+	ev := newEnv(t, 2, StratSplitBalance, ibRail(), mxRail())
+	for _, size := range []int{64 << 10, 1 << 20, 8 << 20} {
+		want := stratSplit{}.SplitRdv(ev.cores[0], size)
+		got := SplitPreview(StratSplitBalance, ev.net.Rails(), 0, size)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("SplitPreview(%d) = %v, strategy says %v", size, got, want)
+		}
+	}
+}
+
 func TestAggregationRespectsCap(t *testing.T) {
 	ev := newEnv(t, 2, StratAggreg)
 	core := ev.cores[0]

@@ -1,0 +1,164 @@
+package nmad
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+func TestISendRailStripesSubThreshold(t *testing.T) {
+	// A striped sub-threshold pack (hint -2) must take the rendezvous path
+	// and water-fill across both rails, even though the eager path would
+	// have kept it whole on the best rail.
+	ev := newEnv(t, 2, StratSplitBalance, ibRail(), mxRail())
+	msg := make([]byte, 16<<10) // below the 32 KiB rendezvous threshold
+	for i := range msg {
+		msg[i] = byte(i >> 3)
+	}
+	got := make([]byte, len(msg))
+	ev.run(t, func(rank int, p *vtime.Proc) {
+		if rank == 0 {
+			ev.wait(0, p, ev.cores[0].ISendRail(ev.cores[0].Gate(1), 3, msg, -2))
+		} else {
+			ev.wait(1, p, ev.cores[1].IRecv(ev.cores[1].Gate(0), 3, ^uint64(0), got))
+		}
+	})
+	if !bytes.Equal(got, msg) {
+		t.Fatal("striped send corrupted payload")
+	}
+	// Both rails must carry a real payload share (waterfill of 16 KiB over
+	// these rails gives each well over 6 KiB; control entries are ~tens of
+	// bytes, so payload on a rail is unmistakable).
+	if ib := ev.net.Rail(0).BytesSent; ib < 6<<10 {
+		t.Fatalf("rail 0 carried %d bytes, want a payload share", ib)
+	}
+	if mx := ev.net.Rail(1).BytesSent; mx < 6<<10 {
+		t.Fatalf("rail 1 carried %d bytes, want a payload share", mx)
+	}
+}
+
+func TestISendRailStripeWidthClamps(t *testing.T) {
+	// Widths beyond the rail count clamp to it; width 1 and single-rail
+	// stacks degrade to plain strategy placement (no forced rendezvous).
+	two := newEnv(t, 2, StratSplitBalance, ibRail(), mxRail())
+	g := two.cores[0].Gate(1)
+	if r := two.cores[0].ISendRail(g, 1, make([]byte, 100), -9); r.pin != -2 || !r.rdv {
+		t.Fatalf("hint -9 on two rails: pin=%d rdv=%v, want pin=-2 forced rdv", r.pin, r.rdv)
+	}
+	if r := two.cores[0].ISendRail(g, 2, make([]byte, 100), -1); r.pin != 0 || r.rdv {
+		t.Fatalf("width 1 must fall back to auto placement: pin=%d rdv=%v", r.pin, r.rdv)
+	}
+	one := newEnv(t, 2, StratSplitBalance, ibRail())
+	if r := one.cores[0].ISendRail(one.cores[0].Gate(1), 1, make([]byte, 100), -2); r.pin != 0 || r.rdv {
+		t.Fatalf("stripe on a single rail must fall back to auto placement: pin=%d rdv=%v", r.pin, r.rdv)
+	}
+}
+
+func TestISendRailStripeRestrictedToPrefix(t *testing.T) {
+	// Width 2 on a three-rail stack must keep every payload byte on the
+	// first two rails — the stripe names a rail prefix, not "any rails the
+	// strategy likes".
+	third := mxRail()
+	third.Name = "mx2"
+	ev := newEnv(t, 2, StratSplitBalance, ibRail(), mxRail(), third)
+	msg := make([]byte, 1<<20)
+	got := make([]byte, len(msg))
+	ev.run(t, func(rank int, p *vtime.Proc) {
+		if rank == 0 {
+			ev.wait(0, p, ev.cores[0].ISendRail(ev.cores[0].Gate(1), 3, msg, -2))
+		} else {
+			ev.wait(1, p, ev.cores[1].IRecv(ev.cores[1].Gate(0), 3, ^uint64(0), got))
+		}
+	})
+	if r2 := ev.net.Rail(2).BytesSent; r2 > 1<<10 {
+		t.Fatalf("payload leaked onto rail outside the stripe: %d bytes", r2)
+	}
+	if ib, mx := ev.net.Rail(0).BytesSent, ev.net.Rail(1).BytesSent; ib < 100<<10 || mx < 100<<10 {
+		t.Fatalf("stripe rails unbalanced: ib=%d mx=%d", ib, mx)
+	}
+}
+
+func TestStripedTinyPayloadCollapsesToOneRail(t *testing.T) {
+	// A striped pack whose waterfill shares all fall below MinSplit must
+	// collapse onto the stripe's best rail — still correct, still
+	// rendezvous, just unsplit.
+	ev := newEnv(t, 2, StratSplitBalance, ibRail(), mxRail())
+	msg := []byte("tiny striped payload")
+	got := make([]byte, len(msg))
+	ev.run(t, func(rank int, p *vtime.Proc) {
+		if rank == 0 {
+			ev.wait(0, p, ev.cores[0].ISendRail(ev.cores[0].Gate(1), 3, msg, -2))
+		} else {
+			ev.wait(1, p, ev.cores[1].IRecv(ev.cores[1].Gate(0), 3, ^uint64(0), got))
+		}
+	})
+	if !bytes.Equal(got, msg) {
+		t.Fatal("tiny striped send corrupted payload")
+	}
+	if mx := ev.net.Rail(1).BytesSent; mx > int64(len(msg)/2) {
+		t.Fatalf("tiny payload should collapse onto the fast rail, rail 1 got %d bytes", mx)
+	}
+}
+
+func TestStripedSegmentStreamInOrder(t *testing.T) {
+	// A stream of same-tag striped segments — exactly what a rail-striped
+	// pipeline schedule emits — must land in posted order even though every
+	// segment's chunks race over both rails. The RTS entries all ride the
+	// control rail, so matching order is preserved; the data chunks are
+	// offset-addressed, so their arrival order is irrelevant.
+	ev := newEnv(t, 2, StratSplitBalance, ibRail(), mxRail())
+	const n, seg = 8, 16 << 10
+	msgs := make([][]byte, n)
+	for k := range msgs {
+		msgs[k] = make([]byte, seg)
+		for i := range msgs[k] {
+			msgs[k][i] = byte(31*k + i)
+		}
+	}
+	got := make([][]byte, n)
+	for k := range got {
+		got[k] = make([]byte, seg)
+	}
+	ev.run(t, func(rank int, p *vtime.Proc) {
+		if rank == 0 {
+			reqs := make([]*Request, n)
+			for k := 0; k < n; k++ {
+				reqs[k] = ev.cores[0].ISendRail(ev.cores[0].Gate(1), 7, msgs[k], -2)
+			}
+			for _, r := range reqs {
+				ev.wait(0, p, r)
+			}
+		} else {
+			for k := 0; k < n; k++ {
+				ev.wait(1, p, ev.cores[1].IRecv(ev.cores[1].Gate(0), 7, ^uint64(0), got[k]))
+			}
+		}
+	})
+	for k := range msgs {
+		if !bytes.Equal(got[k], msgs[k]) {
+			t.Fatalf("segment %d landed out of order or corrupted", k)
+		}
+	}
+}
+
+func TestBalancedSharesRestrictedSetConserves(t *testing.T) {
+	third := mxRail()
+	third.Name = "mx2"
+	ev := newEnv(t, 2, StratSplitBalance, ibRail(), mxRail(), third)
+	const size = 1 << 20
+	shares := balancedShares(ev.cores[0], []int{0, 1}, size)
+	total := 0
+	for _, sh := range shares {
+		if sh.Rail != 0 && sh.Rail != 1 {
+			t.Fatalf("share outside the active set: %v", shares)
+		}
+		total += sh.Len
+	}
+	if total != size {
+		t.Fatalf("conservation broken: %d != %d", total, size)
+	}
+	if len(shares) != 2 {
+		t.Fatalf("1 MiB over two rails should split, got %v", shares)
+	}
+}

@@ -122,6 +122,10 @@ type Request struct {
 	seq  uint32
 	id   uint64
 	rdv  bool
+	// pin, when non-zero, pins this pack to rail pin-1 instead of letting
+	// the strategy place it (the collective engine's stripe assignments ride
+	// this; see Core.ISendRail).
+	pin int
 	// finished marks a send whose protocol work is done; actual completion
 	// is deferred until every earlier send on the same gate has finished
 	// (FIFO completion order, enforced by Core.finishSend).

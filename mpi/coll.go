@@ -59,6 +59,27 @@ func (c *Comm) SendRecvT(dst int, sdata []byte, src int, rbuf []byte, tag int32)
 	return rr.Stat.Len
 }
 
+// SendRailT / SendRecvRailT implement coll.RailPtPt: the striped schedules'
+// rail hints ride the CH3 request into the backend (rail encoding as on
+// coll.Prim.Rail — 0 auto, k > 0 pins rail k-1; shared-memory and
+// single-rail paths ignore it).
+func (c *Comm) SendRailT(dst int, tag int32, data []byte, rail int) {
+	if dst == c.rank {
+		panic("mpi: collective self-send")
+	}
+	r := c.p.IsendRail(c.proc, c.world(dst), tag, c.collCtx, data, rail)
+	c.mgr.WaitUntil(c.proc, r.Done)
+}
+
+// SendRecvRailT performs a concurrent exchange whose send half carries a
+// rail placement hint.
+func (c *Comm) SendRecvRailT(dst int, sdata []byte, src int, rbuf []byte, tag int32, rail int) int {
+	rr := c.p.Irecv(c.proc, c.world(src), tag, c.collCtx, rbuf)
+	sr := c.p.IsendRail(c.proc, c.world(dst), tag, c.collCtx, sdata, rail)
+	c.mgr.WaitUntil(c.proc, func() bool { return rr.Done() && sr.Done() })
+	return rr.Stat.Len
+}
+
 // twoLevelApplies reports whether the topology-aware hierarchical variants
 // apply to a communicator with the given node map: requested by config,
 // placement known, and at least one node hosting several of the
@@ -88,7 +109,19 @@ func (c *Comm) sched(op coll.OpKind, a coll.Args) (*coll.Schedule, func()) {
 	}
 	key := coll.KeyFor(&c.cfg.Coll, op, a, a.Nodes != nil)
 	a.Seg = key.Seg // resolved pipeline segment size (0 for non-segmented algos)
+	c.stripeArgs(&a, key)
 	return c.acquireSched(key, a)
+}
+
+// stripeArgs copies the key's resolved rail-stripe width back into the
+// builder arguments (the mirror of the a.Seg copy-back) and hands the
+// builders the rail capacities the stripe assigner weighs. Unstriped keys
+// leave both fields zero, so unstriped builds see pre-striping Args exactly.
+func (c *Comm) stripeArgs(a *coll.Args, key coll.Key) {
+	if key.Stripe > 0 {
+		a.Stripe = key.Stripe
+		a.Rails = c.cfg.Coll.Rails
+	}
 }
 
 // schedViews is sched for the uniform block-view entry points, whose
@@ -117,6 +150,7 @@ func (c *Comm) schedViews(op coll.OpKind, a coll.Args) (*coll.Schedule, func()) 
 		}
 		key := coll.KeyFor(&c.cfg.Coll, op, a, a.Nodes != nil)
 		a.Seg = key.Seg
+		c.stripeArgs(&a, key)
 		c.countCompile()
 		return coll.Build(key, a), func() {}
 	}
@@ -315,7 +349,10 @@ func (c *Comm) IreduceScatterF64(x, recv []float64, counts []int, op coll.Op) *R
 // entry points apply.
 type nbcTransport struct{ c *Comm }
 
-func (t nbcTransport) Isend(proc *vtime.Proc, dst int, tag int32, data []byte) nbc.Req {
+func (t nbcTransport) Isend(proc *vtime.Proc, dst int, tag int32, data []byte, rail int) nbc.Req {
+	if rail != 0 {
+		return t.c.p.IsendRailPooled(proc, t.c.world(dst), tag, t.c.nbcCtx, data, rail)
+	}
 	return t.c.p.IsendPooled(proc, t.c.world(dst), tag, t.c.nbcCtx, data)
 }
 

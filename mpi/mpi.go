@@ -283,6 +283,20 @@ func Run(cfg Config, main func(*Comm)) (*Report, error) {
 	if cfg.Coll.Stack == "" {
 		cfg.Coll.Stack = cfg.Stack.Name
 	}
+	if cfg.Coll.Rails == nil {
+		// Hand the stack's rail profile to collective selection: on multirail
+		// stacks the striped builders deal segments across these (weighted by
+		// bandwidth), and the profile enters every striped coll.Key. A
+		// single-rail profile disables striping outright, so single-rail runs
+		// compile bit-identical schedules.
+		for _, rp := range cfg.Stack.Rails {
+			cfg.Coll.Rails = append(cfg.Coll.Rails, coll.RailInfo{
+				Name:        rp.Name,
+				LatencyNS:   int64(rp.Latency),
+				BytesPerSec: rp.BytesPerSec,
+			})
+		}
+	}
 	if err := cfg.Coll.Validate(); err != nil {
 		return nil, fmt.Errorf("mpi: %v", err)
 	}
